@@ -1,0 +1,32 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Profiling the full suite takes ~15 s of wall time; every figure derives from
+the same profiled run (as in the paper, where one nvprof campaign feeds all
+the analyses), so the suite profile is computed once per benchmark session.
+"""
+
+import pytest
+
+from repro import GNNMark
+
+
+@pytest.fixture(scope="session")
+def mark() -> GNNMark:
+    return GNNMark(scale="profile", seed=0)
+
+
+@pytest.fixture(scope="session")
+def suite(mark):
+    """One profiled training epoch of every workload (Figures 2-8)."""
+    return mark.characterize_suite(epochs=1)
+
+
+@pytest.fixture(scope="session")
+def scaling_times(mark):
+    """The Figure-9 strong-scaling study (1/2/4 simulated GPUs)."""
+    return mark.scaling_study(epochs=1)
+
+
+def run_once(benchmark, fn):
+    """Benchmark a derivation exactly once (the run itself is deterministic)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

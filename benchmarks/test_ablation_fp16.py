@@ -1,0 +1,44 @@
+"""Ablation: half-precision training (the paper's proposed mitigation).
+
+The paper's Section V-C takeaway: the extremely low L1 hit rates could be
+alleviated by half-precision training, which halves data footprints.  This
+ablation trains representative workloads at fp32 and fp16 and reports the
+L1 hit-rate and epoch-time deltas.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import profile_workload
+from repro.gpu import SimulationConfig
+
+WORKLOADS = ("DGCN", "TLSTM", "ARGA")
+
+
+def test_ablation_half_precision(benchmark):
+    def run():
+        rows = {}
+        for key in WORKLOADS:
+            fp32 = profile_workload(key, scale="test", epochs=1)
+            fp16 = profile_workload(key, scale="test", epochs=1,
+                                    sim=SimulationConfig(precision="fp16"))
+            rows[key] = {
+                "fp32_l1": fp32.cache()["l1_hit"],
+                "fp16_l1": fp16.cache()["l1_hit"],
+                "time_ratio": fp16.kernels.total_time_s
+                / fp32.kernels.total_time_s,
+            }
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\nfp16 ablation (kernel-time ratio fp16/fp32, L1 hit rates):")
+    for key, row in rows.items():
+        print(f"  {key:<6} time x{row['time_ratio']:.2f}  "
+              f"L1 {row['fp32_l1'] * 100:.1f}% -> {row['fp16_l1'] * 100:.1f}%")
+
+    for key, row in rows.items():
+        # fp16 never slows training down and the L1 never gets worse
+        assert row["time_ratio"] < 1.0, key
+        assert row["fp16_l1"] >= row["fp32_l1"] - 1e-6, key
+    # at least one workload shows a substantive speedup
+    assert min(r["time_ratio"] for r in rows.values()) < 0.85

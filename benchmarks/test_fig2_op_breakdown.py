@@ -1,0 +1,47 @@
+"""Figure 2: execution-time breakdown by operation type per workload.
+
+Paper anchors (V100, nvprof):
+  * GEMM + SpMM take only ~25% of suite time (vs >50% for DNNs);
+  * STGCN is ~60% convolution — unique in the suite;
+  * PSAGE-MVL spends 20.7% sorting and 7.0% in reductions;
+  * sorting/indexing/reductions/scatter-gather average ~20.8%.
+"""
+
+import pytest
+
+from conftest import run_once
+
+
+def test_fig2_op_breakdown(benchmark, mark, suite):
+    text = run_once(benchmark, lambda: mark.render_op_breakdown(suite))
+    print("\n" + text)
+
+    rows = {key: suite[key].op_breakdown() for key in suite.keys()}
+    mean = suite.mean_over_workloads(lambda p: p.op_breakdown())
+
+    # GEMM+SpMM well below DNN-like dominance (paper: ~25%)
+    assert mean["GEMM"] + mean["SpMM"] < 0.45
+
+    # STGCN conv-dominated (paper: ~60%)
+    assert rows["STGCN"]["Conv"] == pytest.approx(0.60, abs=0.12)
+    # ...and the ONLY conv-heavy workload
+    for key, row in rows.items():
+        if key != "STGCN":
+            assert row["Conv"] < 0.05
+
+    # PSAGE-MVL sort share (paper: 20.7%)
+    assert rows["PSAGE-MVL"]["Sort"] == pytest.approx(0.207, abs=0.07)
+    # PSAGE-MVL reductions (paper: 7.0%)
+    assert rows["PSAGE-MVL"]["Reduction"] == pytest.approx(0.07, abs=0.04)
+
+    # aggregation-phase ops are a first-class cost (paper: ~20.8% average)
+    agg = (mean["Sort"] + mean["IndexSelect"] + mean["Reduction"]
+           + mean["Scatter"] + mean["Gather"])
+    assert 0.10 < agg < 0.35
+
+    # ARGA is reduction-heavy relative to the suite (paper: 23%)
+    assert rows["ARGA"]["Reduction"] > 2 * mean["Reduction"] * 0.8
+
+    # every workload's shares sum to 1
+    for row in rows.values():
+        assert sum(row.values()) == pytest.approx(1.0)

@@ -1,0 +1,33 @@
+"""Figure 3: dynamic instruction mix per workload.
+
+Paper anchors: 64% of executed instructions are int32 on average and only
+28.7% fp32; GraphWriter is the sole workload where the mix is reversed
+(floating point dominated).
+"""
+
+import pytest
+
+from conftest import run_once
+
+
+def test_fig3_instruction_mix(benchmark, mark, suite):
+    text = run_once(benchmark, lambda: mark.render_instruction_mix(suite))
+    print("\n" + text)
+
+    mix = {key: suite[key].instruction_mix() for key in suite.keys()}
+    mean = suite.mean_over_workloads(lambda p: p.instruction_mix())
+
+    # integer dominates on average (paper: 64% int32 vs 28.7% fp32)
+    assert mean["int32"] == pytest.approx(0.64, abs=0.08)
+    assert mean["int32"] > 2 * mean["fp32"] * 0.8
+
+    # GW is the one reversed workload (fp32 > int32)...
+    assert mix["GW"]["fp32"] > mix["GW"]["int32"]
+    # ...and the most fp-heavy of the suite
+    assert mix["GW"]["fp32"] == max(m["fp32"] for m in mix.values())
+
+    # higher-order k-GNN is more integer-heavy than the lower-order one
+    assert mix["KGNNH"]["int32"] > mix["KGNNL"]["int32"]
+
+    for m in mix.values():
+        assert sum(m.values()) == pytest.approx(1.0)

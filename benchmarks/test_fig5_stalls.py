@@ -1,0 +1,50 @@
+"""Figure 5: issue-stall breakdown per workload and per operation.
+
+Paper anchors: memory dependency 34.3%, execution dependency 29.5% and —
+surprisingly — instruction fetch 21.6% on average; scatter/gather/index ops
+stall on memory more than GEMM does.
+"""
+
+import pytest
+
+from conftest import run_once
+
+
+def test_fig5_stall_breakdown(benchmark, mark, suite):
+    text = run_once(benchmark, lambda: mark.render_stalls(suite))
+    print("\n" + text)
+
+    mean = suite.mean_over_workloads(lambda p: p.stalls())
+
+    assert mean["memory_dependency"] == pytest.approx(0.343, abs=0.07)
+    assert mean["execution_dependency"] == pytest.approx(0.295, abs=0.07)
+    assert mean["instruction_fetch"] == pytest.approx(0.216, abs=0.07)
+
+    # the big three dominate
+    big3 = (mean["memory_dependency"] + mean["execution_dependency"]
+            + mean["instruction_fetch"])
+    assert big3 > 0.70
+
+    for key in suite.keys():
+        assert sum(suite[key].stalls().values()) == pytest.approx(1.0)
+
+
+def test_fig5_per_op_stalls(benchmark, suite):
+    def per_op():
+        return {
+            key: suite[key].kernels.per_op_class("stall_memory_dependency")
+            for key in suite.keys()
+        }
+
+    tables = run_once(benchmark, per_op)
+    # irregular data movement stalls on memory more than GEMM, averaged over
+    # the suite (the paper's per-op view)
+    acc: dict[str, list[float]] = {}
+    for table in tables.values():
+        for cat, value in table.items():
+            acc.setdefault(cat, []).append(value)
+    mean = {cat: sum(v) / len(v) for cat, v in acc.items()}
+    print("\nper-op mean memory-dependency stall:",
+          {k: round(v, 3) for k, v in mean.items()})
+    for cat in ("Scatter", "IndexSelect", "Gather"):
+        assert mean[cat] > mean["GEMM"], cat

@@ -1,0 +1,59 @@
+"""Figure 6: L1/L2 hit rates and divergent-load fraction per workload.
+
+Paper anchors: a mere 15% L1 D-cache hit rate on average, ~70% L2, and
+32.5% divergent load instructions; GEMM/SpMM/GEMV show the worst locality
+(< 10% L1), other irregular ops stay below ~15%.
+"""
+
+import pytest
+
+from conftest import run_once
+
+
+def test_fig6_cache_hit_rates(benchmark, mark, suite):
+    text = run_once(benchmark, lambda: mark.render_cache(suite))
+    print("\n" + text)
+
+    mean = suite.mean_over_workloads(lambda p: p.cache())
+
+    # L1 is nearly useless for GNN training (paper: ~15%)
+    assert mean["l1_hit"] == pytest.approx(0.15, abs=0.07)
+    # the larger L2 fares far better (paper: ~70%)
+    assert mean["l2_hit"] == pytest.approx(0.70, abs=0.08)
+    # L2 always beats L1 by a wide margin
+    for key in suite.keys():
+        cache = suite[key].cache()
+        assert cache["l2_hit"] > 2 * cache["l1_hit"]
+
+
+def test_fig6_divergent_loads(benchmark, suite):
+    def fractions():
+        return {key: suite[key].divergence.divergent_load_fraction()
+                for key in suite.keys()}
+
+    div = run_once(benchmark, fractions)
+    print("\ndivergent-load fraction:",
+          {k: round(v, 3) for k, v in div.items()})
+    mean = sum(div.values()) / len(div)
+    # paper: 32.5% of warp loads touch more than one line
+    assert mean == pytest.approx(0.325, abs=0.10)
+
+
+def test_fig6_per_op_l1_locality(benchmark, suite):
+    """GEMM-family kernels have the worst L1 locality (paper: < 10%)."""
+
+    def per_op():
+        acc = {}
+        for key in suite.keys():
+            for cat, value in suite[key].kernels.per_op_class("l1_hit").items():
+                acc.setdefault(cat, []).append(value)
+        return {cat: sum(v) / len(v) for cat, v in acc.items()}
+
+    table = run_once(benchmark, per_op)
+    print("\nper-op L1 hit:", {k: round(v, 3) for k, v in table.items()})
+    for cat in ("GEMM", "SpMM"):
+        if cat in table:
+            assert table[cat] < 0.12, cat
+    for cat in ("Scatter", "Gather", "IndexSelect", "Sort"):
+        if cat in table:
+            assert table[cat] < 0.25, cat

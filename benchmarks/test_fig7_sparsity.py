@@ -1,0 +1,34 @@
+"""Figure 7: average sparsity of CPU-to-GPU transfers during training.
+
+Paper anchors: 43.2% of transferred values are zero on average, so
+compression could stretch effective GPU memory; PSAGE's sparsity is
+input-dependent — 22% on MovieLens but only 11% on NowPlaying.
+"""
+
+import pytest
+
+from conftest import run_once
+
+
+def test_fig7_average_sparsity(benchmark, mark, suite):
+    text = run_once(benchmark, lambda: mark.render_sparsity(suite))
+    print("\n" + text)
+
+    sparsity = {key: suite[key].transfer_sparsity() for key in suite.keys()}
+    mean = sum(sparsity.values()) / len(sparsity)
+
+    # suite average (paper: 43.2%)
+    assert mean == pytest.approx(0.432, abs=0.08)
+
+    # PSAGE sparsity is a function of the dataset (paper: 22% vs 11%)
+    assert sparsity["PSAGE-MVL"] == pytest.approx(0.22, abs=0.06)
+    assert sparsity["PSAGE-NWP"] == pytest.approx(0.11, abs=0.05)
+    assert sparsity["PSAGE-MVL"] > sparsity["PSAGE-NWP"]
+
+    # activation-sparse models (ReLU/PReLU pipelines + zero-initialized
+    # state) transfer highly sparse data
+    assert sparsity["ARGA"] > 0.9
+    assert sparsity["TLSTM"] > 0.7
+
+    for value in sparsity.values():
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,25 @@
+"""Figure 8: per-transfer sparsity over the course of training.
+
+Paper anchor: the sparsity of H2D transfers follows a clear, predictable
+(periodic) pattern, opening the door to adaptive compression.
+"""
+
+from conftest import run_once
+
+
+def test_fig8_sparsity_timeline(benchmark, mark, suite):
+    text = run_once(benchmark, lambda: mark.render_sparsity_timeline(suite))
+    print("\n" + text)
+
+    # per-batch transfer schedules repeat, so the timeline autocorrelates
+    periodic = {
+        key: suite[key].sparsity.periodicity_score() for key in suite.keys()
+    }
+    print("periodicity:", {k: round(v, 2) for k, v in periodic.items()})
+    strongly_periodic = [k for k, v in periodic.items() if v > 0.5]
+    # most workloads show the paper's predictable pattern
+    assert len(strongly_periodic) >= 5
+
+    # timelines are non-trivial (many transfers recorded)
+    for key in suite.keys():
+        assert suite[key].sparsity_timeline().size >= 3

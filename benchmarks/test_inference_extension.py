@@ -1,0 +1,38 @@
+"""Inference characterization (the paper's planned suite extension).
+
+The paper contrasts its training focus with prior *inference* studies
+(where GEMM reportedly exceeds 50% of time) and plans to ship pretrained
+models for inference characterization.  This benchmark profiles the
+forward-only pass of every workload after a warm-up training epoch.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core import profile_inference, profile_workload, registry
+
+
+def test_inference_profiles(benchmark):
+    def run():
+        rows = {}
+        for key in registry.WORKLOAD_KEYS:
+            infer = profile_inference(key, scale="test")
+            train = profile_workload(key, scale="test", epochs=1)
+            rows[key] = {
+                "inference_ms": infer.kernels.total_time_s * 1e3,
+                "train_ms": train.kernels.total_time_s * 1e3,
+                "phases": set(infer.kernels.phase_breakdown()),
+            }
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\ninference vs training kernel time (ms):")
+    for key, row in rows.items():
+        print(f"  {key:<10} inference {row['inference_ms']:8.3f}"
+              f"   training {row['train_ms']:8.3f}")
+
+    for key, row in rows.items():
+        # forward-only: no backward or optimizer kernels
+        assert row["phases"] == {"forward"}, key
+        # inference is cheaper than a training epoch for every workload
+        assert row["inference_ms"] < row["train_ms"], key

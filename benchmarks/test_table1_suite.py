@@ -1,0 +1,18 @@
+"""Table I: the GNNMark suite inventory.
+
+Regenerates the paper's workload table: model, application domain, graph
+type, dataset (synthetic equivalents marked *) and origin framework.
+"""
+
+from conftest import run_once
+
+
+def test_table1_suite_inventory(benchmark, mark):
+    text = run_once(benchmark, mark.render_table1)
+    print("\n" + text)
+    rows = mark.table1()
+    assert len(rows) == 9
+    # every paper workload family present
+    models = {r["model"] for r in rows}
+    assert {"DeepGCN", "GraphWriter", "PinSAGE", "STGCN", "ARGA",
+            "Child-Sum Tree-LSTM"} <= models

@@ -1,0 +1,59 @@
+"""Quickstart: profile one GNN training workload on the simulated V100.
+
+Run:  python examples/quickstart.py [WORKLOAD]
+
+Picks a workload from the GNNMark registry (default ARGA), trains it for two
+epochs under the full profiling toolchain, and prints the nvprof-style
+summary: top kernels, operation breakdown, instruction mix, cache behaviour
+and transfer sparsity.
+"""
+
+import sys
+
+from repro import GNNMark, profile_workload
+
+
+def main() -> None:
+    key = sys.argv[1] if len(sys.argv) > 1 else "ARGA"
+    mark = GNNMark()
+    if key not in mark.workloads():
+        raise SystemExit(f"unknown workload {key!r}; pick from {mark.workloads()}")
+
+    spec = mark.spec(key)
+    print(f"== {key}: {spec.model} — {spec.domain}")
+    print(f"   dataset {spec.dataset} / framework style {spec.framework}\n")
+
+    profile = profile_workload(key, epochs=2)
+
+    print(f"simulated training time : {profile.sim_time_s * 1e3:8.2f} ms")
+    print(f"kernel launches         : {profile.launch_count:8d}")
+    print(f"avg epoch (sim)         : {sum(profile.epoch_times) / len(profile.epoch_times) * 1e3:8.2f} ms")
+    print(f"final train metrics     : {profile.train_metrics[-1]}\n")
+
+    print("-- top kernels by GPU time " + "-" * 38)
+    for s in profile.kernels.top_kernels(8):
+        share = s.total_time_s / profile.kernels.total_time_s * 100
+        print(f"  {s.name:<28} {s.op_class.value:<12} x{s.launches:<5}"
+              f" {s.total_time_s * 1e6:9.1f} us ({share:4.1f}%)")
+
+    print("\n-- operation breakdown (Figure 2 view) " + "-" * 26)
+    for cat, share in profile.op_breakdown().items():
+        if share > 0.004:
+            print(f"  {cat:<12} {share * 100:5.1f}%")
+
+    mix = profile.instruction_mix()
+    th = profile.throughput()
+    cache = profile.cache()
+    print("\n-- architecture counters " + "-" * 40)
+    print(f"  instruction mix : {mix['int32'] * 100:4.1f}% int32 /"
+          f" {mix['fp32'] * 100:4.1f}% fp32 / {mix['other'] * 100:4.1f}% other")
+    print(f"  throughput      : {th['gflops']:7.1f} GFLOPS, {th['giops']:7.1f} GIOPS,"
+          f" IPC {th['ipc']:.2f}")
+    print(f"  caches          : L1 {cache['l1_hit'] * 100:4.1f}% hit,"
+          f" L2 {cache['l2_hit'] * 100:4.1f}% hit,"
+          f" divergent loads {cache['divergent_loads'] * 100:4.1f}%")
+    print(f"  H2D sparsity    : {profile.transfer_sparsity() * 100:4.1f}% zeros")
+
+
+if __name__ == "__main__":
+    main()

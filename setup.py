@@ -1,0 +1,18 @@
+"""Setuptools entry point.
+
+The offline environment has no ``wheel`` package, so modern PEP-517 editable
+installs (which build a wheel) fail; this file enables the legacy path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+)

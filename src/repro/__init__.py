@@ -1,0 +1,30 @@
+"""GNNMark reproduction: a benchmark suite to characterize GNN training on
+(simulated) GPUs.
+
+Subpackages:
+
+* :mod:`repro.core`      — the suite: workload registry, characterization, API
+* :mod:`repro.tensor`    — numpy-backed DL framework emitting simulated kernels
+* :mod:`repro.gpu`       — analytical V100 model (timing, caches, stalls, NVLink)
+* :mod:`repro.graph`     — graph library (homo/hetero/temporal, batching, sampling)
+* :mod:`repro.datasets`  — synthetic equivalents of the paper's datasets
+* :mod:`repro.models`    — the eight workload models of Table I
+* :mod:`repro.train`     — trainer + DistributedDataParallel simulation
+* :mod:`repro.profiling` — nvprof/NVBit/sparsity instrumentation + reports
+"""
+
+from .core import GNNMark, profile_suite, profile_workload
+from .gpu import SimulatedGPU
+from .tensor import Tensor, manual_seed
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "GNNMark",
+    "SimulatedGPU",
+    "Tensor",
+    "__version__",
+    "manual_seed",
+    "profile_suite",
+    "profile_workload",
+]

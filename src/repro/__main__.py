@@ -1,0 +1,103 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1                 # the suite inventory
+    python -m repro fig2 ... fig8          # one characterization figure
+    python -m repro fig9                   # the strong-scaling study
+    python -m repro all                    # everything
+    python -m repro profile TLSTM          # one workload, nvprof-style
+    python -m repro memory                 # device-memory occupancy table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import GNNMark
+from .core import profile_workload
+
+FIGURES = {
+    "fig2": "render_op_breakdown",
+    "fig3": "render_instruction_mix",
+    "fig4": "render_throughput",
+    "fig5": "render_stalls",
+    "fig6": "render_cache",
+    "fig7": "render_sparsity",
+    "fig8": "render_sparsity_timeline",
+}
+
+
+def _print_profile(mark: GNNMark, key: str, epochs: int) -> None:
+    profile = profile_workload(key, scale=mark.scale, epochs=epochs,
+                               seed=mark.seed)
+    print(f"== {key} ({epochs} epoch(s), {profile.launch_count} kernels,"
+          f" {profile.sim_time_s * 1e3:.2f} ms simulated)")
+    for stats in profile.kernels.top_kernels(10):
+        share = stats.total_time_s / profile.kernels.total_time_s * 100
+        print(f"  {stats.name:<28} {stats.op_class.value:<12}"
+              f" x{stats.launches:<5} {stats.total_time_s * 1e6:9.1f} us"
+              f" ({share:4.1f}%)")
+
+
+def _print_memory(mark: GNNMark) -> None:
+    print(f"{'workload':<12}{'model MB':>10}{'data MB/epoch':>15}{'data %':>8}")
+    print("-" * 45)
+    for key in mark.workloads():
+        profile = profile_workload(key, scale=mark.scale, epochs=1,
+                                   seed=mark.seed)
+        mem = profile.memory_footprint()
+        print(f"{key:<12}{mem['model_bytes'] / 1e6:>10.2f}"
+              f"{mem['data_bytes_per_epoch'] / 1e6:>15.2f}"
+              f"{mem['data_fraction'] * 100:>7.1f}%")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="GNNMark reproduction: regenerate the paper's artifacts",
+    )
+    parser.add_argument("command",
+                        choices=["table1", *FIGURES, "fig9", "all",
+                                 "profile", "memory"],
+                        help="which artifact to regenerate")
+    parser.add_argument("workload", nargs="?",
+                        help="workload key (for the 'profile' command)")
+    parser.add_argument("--epochs", type=int, default=1)
+    parser.add_argument("--scale", default="profile",
+                        choices=["test", "profile", "scaling"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    mark = GNNMark(scale=args.scale, seed=args.seed)
+
+    if args.command == "table1":
+        print(mark.render_table1())
+        return 0
+    if args.command == "profile":
+        if not args.workload:
+            parser.error("profile requires a workload key")
+        _print_profile(mark, args.workload, args.epochs)
+        return 0
+    if args.command == "memory":
+        _print_memory(mark)
+        return 0
+    if args.command == "fig9":
+        print(mark.render_scaling(mark.scaling_study(epochs=args.epochs)))
+        return 0
+
+    wanted = list(FIGURES) if args.command == "all" else [args.command]
+    suite = mark.characterize_suite(epochs=args.epochs)
+    for fig in wanted:
+        print(getattr(mark, FIGURES[fig])(suite))
+        print()
+    if args.command == "all":
+        print(mark.render_table1())
+        print()
+        print(mark.render_scaling(mark.scaling_study(epochs=args.epochs)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

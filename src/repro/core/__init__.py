@@ -1,0 +1,22 @@
+"""GNNMark core: workload registry (Table I), characterization pipeline and
+the top-level :class:`GNNMark` suite API."""
+
+from . import registry
+from .characterize import (
+    SuiteProfile,
+    WorkloadProfile,
+    profile_inference,
+    profile_suite,
+    profile_workload,
+)
+from .suite import GNNMark
+
+__all__ = [
+    "GNNMark",
+    "profile_inference",
+    "SuiteProfile",
+    "WorkloadProfile",
+    "profile_suite",
+    "profile_workload",
+    "registry",
+]

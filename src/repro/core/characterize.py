@@ -1,0 +1,214 @@
+"""The characterization pipeline: run a workload under the full profiling
+toolchain and collect every metric the paper's figures report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..gpu import SimulatedGPU, SimulationConfig
+from ..profiling import DivergenceInstrument, KernelProfiler, SparsityTracker
+from ..train.trainer import Trainer
+from . import registry
+
+
+@dataclass
+class WorkloadProfile:
+    """Everything measured from profiling one workload's training."""
+
+    key: str
+    spec: registry.WorkloadSpec
+    kernels: KernelProfiler
+    sparsity: SparsityTracker
+    divergence: DivergenceInstrument
+    epoch_times: list[float]
+    train_metrics: list[dict[str, float]]
+    sim_time_s: float
+    launch_count: int
+    #: back-reference to the trained workload (set by profile_workload)
+    _workload: object = None
+
+    # -- figure accessors ---------------------------------------------------
+    def op_breakdown(self) -> dict[str, float]:
+        return self.kernels.op_time_breakdown()
+
+    def instruction_mix(self) -> dict[str, float]:
+        return self.kernels.instruction_mix()
+
+    def throughput(self) -> dict[str, float]:
+        return self.kernels.throughput()
+
+    def stalls(self) -> dict[str, float]:
+        return self.kernels.stall_breakdown()
+
+    def cache(self) -> dict[str, float]:
+        stats = self.kernels.cache_stats()
+        stats["divergent_loads"] = self.divergence.divergent_load_fraction()
+        return stats
+
+    def transfer_sparsity(self) -> float:
+        return self.sparsity.average_sparsity()
+
+    def memory_footprint(self) -> dict[str, float]:
+        """Device-memory occupancy split (the paper: the input graph can
+        occupy up to 90% of GPU memory, motivating compression).
+
+        Returns bytes for the model (parameters + Adam state) and for the
+        training data shipped per epoch, plus the data fraction.
+        """
+        model_bytes = 0.0
+        workload = getattr(self, "_workload", None)
+        if workload is not None and hasattr(workload, "model"):
+            param_bytes = workload.model.parameter_bytes()
+            # Adam keeps two fp32 moments per parameter
+            model_bytes = float(param_bytes * 3)
+        data_bytes = float(self.sparsity.total_bytes())
+        epochs = max(1, len(self.epoch_times))
+        data_bytes /= epochs
+        total = model_bytes + data_bytes
+        return {
+            "model_bytes": model_bytes,
+            "data_bytes_per_epoch": data_bytes,
+            "data_fraction": data_bytes / total if total else 0.0,
+        }
+
+    def sparsity_timeline(self) -> np.ndarray:
+        return self.sparsity.timeline()
+
+
+def profile_workload(
+    key: str,
+    scale: str = "profile",
+    epochs: int = 1,
+    seed: int = 0,
+    sim: Optional[SimulationConfig] = None,
+) -> WorkloadProfile:
+    """Train ``epochs`` of a workload on a freshly instrumented device."""
+    spec = registry.get(key)
+    device = SimulatedGPU(sim)
+    # Build first, then instrument: the paper profiles *training*, so one-off
+    # setup work (weight H2D copies, dataset staging) is excluded.
+    workload = spec.build(device=device, scale=scale)
+    device.reset()
+    kernels = KernelProfiler().attach(device)
+    sparsity = SparsityTracker().attach(device)
+    divergence = DivergenceInstrument().attach(device)
+    trainer = Trainer(workload=workload, device=device)
+    results = trainer.run(epochs=epochs, seed=seed)
+
+    kernels.detach()
+    sparsity.detach()
+    divergence.detach()
+    profile = WorkloadProfile(
+        key=key,
+        spec=spec,
+        kernels=kernels,
+        sparsity=sparsity,
+        divergence=divergence,
+        epoch_times=[r.sim_time_s for r in results],
+        train_metrics=[r.metrics for r in results],
+        sim_time_s=device.elapsed_s(),
+        launch_count=device.stats.kernel_count,
+    )
+    profile._workload = workload
+    return profile
+
+
+@dataclass
+class SuiteProfile:
+    """Profiles for every requested workload, plus suite-level summaries."""
+
+    profiles: dict[str, WorkloadProfile] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> WorkloadProfile:
+        return self.profiles[key]
+
+    def keys(self):
+        return self.profiles.keys()
+
+    def mean_over_workloads(self, getter) -> dict[str, float]:
+        """Average a per-workload dict metric across the suite."""
+        acc: dict[str, list[float]] = {}
+        for profile in self.profiles.values():
+            for name, value in getter(profile).items():
+                acc.setdefault(name, []).append(value)
+        return {name: float(np.mean(values)) for name, values in acc.items()}
+
+
+def profile_suite(
+    keys: Optional[list[str]] = None,
+    scale: str = "profile",
+    epochs: int = 1,
+    seed: int = 0,
+) -> SuiteProfile:
+    """Profile the whole suite (Figures 2-8 derive from this)."""
+    if keys is None:
+        keys = list(registry.WORKLOAD_KEYS)
+    suite = SuiteProfile()
+    for key in keys:
+        suite.profiles[key] = profile_workload(key, scale=scale, epochs=epochs,
+                                               seed=seed)
+    return suite
+
+
+def profile_inference(
+    key: str,
+    scale: str = "profile",
+    seed: int = 0,
+    sim: Optional[SimulationConfig] = None,
+) -> WorkloadProfile:
+    """Profile a workload's *inference* pass (the paper's planned extension:
+    train first, then characterize forward-only execution).
+
+    One warm-up training epoch brings the model off its initialization;
+    instrumentation then captures only the no-grad evaluation pass.
+    """
+    import numpy as np
+
+    spec = registry.get(key)
+    device = SimulatedGPU(sim)
+    workload = spec.build(device=device, scale=scale)
+    rng = np.random.default_rng(seed)
+    workload.train_epoch(rng)
+
+    device.reset()
+    kernels = KernelProfiler().attach(device)
+    sparsity = SparsityTracker().attach(device)
+    divergence = DivergenceInstrument().attach(device)
+
+    t0 = device.elapsed_s()
+    _run_inference(key, workload, rng)
+    elapsed = device.elapsed_s() - t0
+
+    kernels.detach()
+    sparsity.detach()
+    divergence.detach()
+    return WorkloadProfile(
+        key=key,
+        spec=spec,
+        kernels=kernels,
+        sparsity=sparsity,
+        divergence=divergence,
+        epoch_times=[elapsed],
+        train_metrics=[],
+        sim_time_s=elapsed,
+        launch_count=device.stats.kernel_count,
+    )
+
+
+def _run_inference(key: str, workload, rng) -> None:
+    """Dispatch to each workload's forward-only evaluation path."""
+    if key.startswith("PSAGE"):
+        workload.evaluate(rng)
+    elif key == "STGCN":
+        workload.evaluate_mae(num_batches=2)
+    elif key == "ARGA":
+        workload.embeddings()
+    elif hasattr(workload, "evaluate"):
+        ds = workload.dataset
+        indices = ds.val_idx if hasattr(ds, "val_idx") else None
+        workload.evaluate(indices)
+    else:  # pragma: no cover - all workloads currently covered above
+        raise ValueError(f"{key} has no inference path")

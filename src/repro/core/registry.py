@@ -1,0 +1,257 @@
+"""The GNNMark workload registry (the paper's Table I).
+
+Each entry records the model, application domain, graph type, dataset and
+origin framework style (DGL workloads lower aggregation to fused SpMM,
+PyG workloads to explicit gather/scatter), plus builders at three scales:
+
+* ``test``     — seconds-fast configs for the unit/integration tests;
+* ``profile``  — the default configs behind Figures 2-8;
+* ``scaling``  — larger batches for the Figure-9 multi-GPU study, where
+  per-step compute must dominate fixed launch overhead as it does on the
+  paper's full-size datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Optional
+
+from .. import datasets as D
+from ..models import (
+    ARGAWorkload,
+    DeepGCNWorkload,
+    GraphWriterWorkload,
+    KGNNWorkload,
+    PinSAGEWorkload,
+    STGCNWorkload,
+    TreeLSTMWorkload,
+)
+
+SCALES = ("test", "profile", "scaling")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table-I row."""
+
+    key: str
+    model: str
+    domain: str
+    graph_type: str
+    dataset: str
+    framework: str
+    builder: Callable
+    #: DDP sharding behaviour for the Figure-9 study
+    ddp: str = "batch"  # "batch" (split batch), "replicate" (PSAGE), "none" (ARGA)
+
+    def build(self, device=None, scale: str = "profile"):
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}; have {SCALES}")
+        return self.builder(device, scale)
+
+
+# -- cached dataset loaders (datasets are deterministic & read-only) ----------
+@lru_cache(maxsize=None)
+def _citation(name: str):
+    return D.load_citation(name)
+
+
+@lru_cache(maxsize=None)
+def _movielens():
+    return D.load_movielens()
+
+
+@lru_cache(maxsize=None)
+def _nowplaying():
+    return D.load_nowplaying()
+
+
+@lru_cache(maxsize=None)
+def _metr_la(num_steps: int):
+    return D.load_metr_la(num_steps=num_steps)
+
+
+@lru_cache(maxsize=None)
+def _molhiv(num_graphs: int):
+    return D.load_molhiv(num_graphs=num_graphs)
+
+
+@lru_cache(maxsize=None)
+def _proteins(num_graphs: int):
+    return D.load_proteins(num_graphs=num_graphs)
+
+
+@lru_cache(maxsize=None)
+def _agenda(num_samples: int):
+    return D.load_agenda(num_samples=num_samples)
+
+
+@lru_cache(maxsize=None)
+def _sst(num_trees: int):
+    return D.load_sst(num_trees=num_trees)
+
+
+# -- builders -------------------------------------------------------------------
+def _build_arga(dataset_name: str):
+    def build(device, scale):
+        return ARGAWorkload.build(_citation(dataset_name), device=device)
+
+    return build
+
+
+def _build_dgcn(device, scale):
+    cfg = {
+        "test": dict(graphs=48, layers=4, hidden=32, batch=16),
+        "profile": dict(graphs=128, layers=14, hidden=128, batch=32),
+        "scaling": dict(graphs=320, layers=10, hidden=192, batch=256),
+    }[scale]
+    return DeepGCNWorkload.build(
+        _molhiv(cfg["graphs"]), device=device, hidden=cfg["hidden"],
+        num_layers=cfg["layers"], batch_size=cfg["batch"],
+    )
+
+
+def _build_stgcn(device, scale):
+    cfg = {
+        "test": dict(steps=120, batch=4, batches=2),
+        "profile": dict(steps=400, batch=8, batches=6),
+        "scaling": dict(steps=400, batch=32, batches=4),
+    }[scale]
+    return STGCNWorkload.build(
+        _metr_la(cfg["steps"]), device=device, batch_size=cfg["batch"],
+        batches_per_epoch=cfg["batches"],
+    )
+
+
+def _build_gw(device, scale):
+    cfg = {
+        "test": dict(samples=24, dim=64, batch=4, batches=2),
+        "profile": dict(samples=64, dim=320, batch=8, batches=4),
+        "scaling": dict(samples=256, dim=448, batch=96, batches=2),
+    }[scale]
+    return GraphWriterWorkload.build(
+        _agenda(cfg["samples"]), device=device, dim=cfg["dim"],
+        batch_size=cfg["batch"], batches_per_epoch=cfg["batches"],
+        max_decode_steps=24 if scale == "scaling" else 0,
+    )
+
+
+def _build_kgnn(order: int):
+    def build(device, scale):
+        cfg = {
+            "test": dict(graphs=32, batch=16),
+            "profile": dict(graphs=128 if order == 2 else 64,
+                            batch=32 if order == 2 else 16),
+            "scaling": dict(graphs=192 if order == 2 else 96,
+                            batch=64 if order == 2 else 32),
+        }[scale]
+        return KGNNWorkload.build(
+            _proteins(cfg["graphs"]), order=order, device=device,
+            batch_size=cfg["batch"],
+        )
+
+    return build
+
+
+def _build_tlstm(device, scale):
+    cfg = {
+        "test": dict(trees=32, batch=16),
+        "profile": dict(trees=128, batch=32),
+        "scaling": dict(trees=128, batch=64),
+    }[scale]
+    return TreeLSTMWorkload.build(
+        _sst(cfg["trees"]), device=device, batch_size=cfg["batch"],
+    )
+
+
+def _build_psage(dataset: str):
+    def build(device, scale):
+        loader = _movielens if dataset == "movielens" else _nowplaying
+        cfg = {
+            "test": dict(batch=16, batches=2),
+            "profile": dict(batch=256, batches=3),
+            "scaling": dict(batch=256, batches=3),
+        }[scale]
+        return PinSAGEWorkload.build(
+            loader(), device=device, batch_size=cfg["batch"],
+            batches_per_epoch=cfg["batches"], hidden=16,
+        )
+
+    return build
+
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.key: spec
+    for spec in [
+        WorkloadSpec(
+            key="DGCN", model="DeepGCN", domain="Molecular property prediction",
+            graph_type="Homogeneous (batched molecules)", dataset="ogbg-molhiv*",
+            framework="PyG", builder=_build_dgcn,
+        ),
+        WorkloadSpec(
+            key="GW", model="GraphWriter", domain="Knowledge-graph text generation",
+            graph_type="Knowledge graph", dataset="AGENDA*",
+            framework="DGL", builder=_build_gw,
+        ),
+        WorkloadSpec(
+            key="KGNNL", model="k-GNN (1-2)", domain="Protein classification",
+            graph_type="Homogeneous (batched proteins)", dataset="PROTEINS*",
+            framework="PyG", builder=_build_kgnn(2),
+        ),
+        WorkloadSpec(
+            key="KGNNH", model="k-GNN (1-2-3)", domain="Protein classification",
+            graph_type="Homogeneous (batched proteins)", dataset="PROTEINS*",
+            framework="PyG", builder=_build_kgnn(3),
+        ),
+        WorkloadSpec(
+            key="PSAGE-MVL", model="PinSAGE", domain="Recommendation",
+            graph_type="Heterogeneous (user-item)", dataset="MovieLens*",
+            framework="DGL", builder=_build_psage("movielens"), ddp="replicate",
+        ),
+        WorkloadSpec(
+            key="PSAGE-NWP", model="PinSAGE", domain="Recommendation",
+            graph_type="Heterogeneous (user-item)", dataset="NowPlaying*",
+            framework="DGL", builder=_build_psage("nowplaying"), ddp="replicate",
+        ),
+        WorkloadSpec(
+            key="STGCN", model="STGCN", domain="Traffic forecasting",
+            graph_type="Spatio-temporal (dynamic signal)", dataset="METR-LA*",
+            framework="PyTorch", builder=_build_stgcn,
+        ),
+        WorkloadSpec(
+            key="TLSTM", model="Child-Sum Tree-LSTM", domain="Sentiment classification",
+            graph_type="Batched trees", dataset="SST*",
+            framework="DGL", builder=_build_tlstm,
+        ),
+        WorkloadSpec(
+            key="ARGA", model="ARGA", domain="Node clustering (graph embedding)",
+            graph_type="Homogeneous (citation)", dataset="Cora*",
+            framework="PyG", builder=_build_arga("cora"), ddp="none",
+        ),
+    ]
+}
+
+#: the order figures list workloads in
+WORKLOAD_KEYS = tuple(WORKLOADS)
+
+
+def get(key: str) -> WorkloadSpec:
+    if key not in WORKLOADS:
+        raise KeyError(f"unknown workload {key!r}; have {sorted(WORKLOADS)}")
+    return WORKLOADS[key]
+
+
+def table1_rows() -> list[dict[str, str]]:
+    """Table I: the suite inventory (* marks synthetic dataset equivalents)."""
+    return [
+        {
+            "workload": spec.key,
+            "model": spec.model,
+            "domain": spec.domain,
+            "graph type": spec.graph_type,
+            "dataset": spec.dataset,
+            "framework": spec.framework,
+        }
+        for spec in WORKLOADS.values()
+    ]

@@ -1,0 +1,124 @@
+"""GNNMark: the top-level suite API.
+
+    from repro import GNNMark
+
+    mark = GNNMark()
+    profile = mark.characterize("ARGA", epochs=2)
+    print(mark.render_op_breakdown(mark.characterize_suite()))
+
+Everything the benchmark harness prints for the paper's tables and figures
+goes through this class, so downstream users get the same views.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..profiling import format_scaling, format_series, format_table
+from ..train import ddp
+from . import characterize, registry
+
+
+class GNNMark:
+    """Facade over the registry, profiler pipeline and scaling study."""
+
+    SCALES = registry.SCALES
+
+    def __init__(self, scale: str = "profile", seed: int = 0) -> None:
+        self.scale = scale
+        self.seed = seed
+
+    # -- inventory (Table I) --------------------------------------------------
+    def workloads(self) -> list[str]:
+        return list(registry.WORKLOAD_KEYS)
+
+    def spec(self, key: str) -> registry.WorkloadSpec:
+        return registry.get(key)
+
+    def table1(self) -> list[dict[str, str]]:
+        return registry.table1_rows()
+
+    def render_table1(self) -> str:
+        rows = self.table1()
+        cols = list(rows[0].keys())
+        widths = {c: max(len(c), *(len(r[c]) for r in rows)) + 2 for c in cols}
+        lines = ["".join(c.ljust(widths[c]) for c in cols)]
+        lines.append("-" * sum(widths.values()))
+        for r in rows:
+            lines.append("".join(r[c].ljust(widths[c]) for c in cols))
+        return "\n".join(lines)
+
+    # -- characterization -----------------------------------------------------------
+    def characterize(self, key: str, epochs: int = 1,
+                     scale: Optional[str] = None
+                     ) -> characterize.WorkloadProfile:
+        return characterize.profile_workload(
+            key, scale=scale or self.scale, epochs=epochs, seed=self.seed
+        )
+
+    def characterize_suite(self, keys: Optional[list[str]] = None,
+                           epochs: int = 1, scale: Optional[str] = None
+                           ) -> characterize.SuiteProfile:
+        return characterize.profile_suite(
+            keys, scale=scale or self.scale, epochs=epochs, seed=self.seed
+        )
+
+    # -- figure renderers -------------------------------------------------------------
+    def render_op_breakdown(self, suite: characterize.SuiteProfile) -> str:
+        from ..gpu import FIGURE_CATEGORIES
+
+        rows = {k: p.op_breakdown() for k, p in suite.profiles.items()}
+        return format_table(rows, list(FIGURE_CATEGORIES),
+                            title="Figure 2: execution-time breakdown by operation",
+                            percent=True, width=11)
+
+    def render_instruction_mix(self, suite: characterize.SuiteProfile) -> str:
+        rows = {k: p.instruction_mix() for k, p in suite.profiles.items()}
+        return format_table(rows, ["int32", "fp32", "other"],
+                            title="Figure 3: dynamic instruction mix",
+                            percent=True)
+
+    def render_throughput(self, suite: characterize.SuiteProfile) -> str:
+        rows = {k: p.throughput() for k, p in suite.profiles.items()}
+        return format_table(rows, ["gflops", "giops", "ipc"],
+                            title="Figure 4: achieved GFLOPS / GIOPS / IPC",
+                            percent=False)
+
+    def render_stalls(self, suite: characterize.SuiteProfile) -> str:
+        cols = ["memory_dependency", "execution_dependency", "instruction_fetch",
+                "synchronization", "pipe_busy", "not_selected", "other"]
+        rows = {k: p.stalls() for k, p in suite.profiles.items()}
+        return format_table(rows, cols,
+                            title="Figure 5: issue-stall breakdown",
+                            percent=True, width=13)
+
+    def render_cache(self, suite: characterize.SuiteProfile) -> str:
+        rows = {k: p.cache() for k, p in suite.profiles.items()}
+        return format_table(rows, ["l1_hit", "l2_hit", "divergent_loads"],
+                            title="Figure 6: cache hit rates and divergent loads",
+                            percent=True)
+
+    def render_sparsity(self, suite: characterize.SuiteProfile) -> str:
+        rows = {k: {"h2d_sparsity": p.transfer_sparsity()}
+                for k, p in suite.profiles.items()}
+        return format_table(rows, ["h2d_sparsity"],
+                            title="Figure 7: average H2D transfer sparsity",
+                            percent=True)
+
+    def render_sparsity_timeline(self, suite: characterize.SuiteProfile) -> str:
+        series = {k: p.sparsity_timeline() for k, p in suite.profiles.items()}
+        return format_series(series,
+                             title="Figure 8: per-transfer sparsity timeline")
+
+    # -- multi-GPU ------------------------------------------------------------------------
+    def scaling_study(self, keys: Optional[list[str]] = None,
+                      gpu_counts: tuple[int, ...] = (1, 2, 4),
+                      epochs: int = 1) -> dict[str, dict[int, float]]:
+        return ddp.run_scaling_study(keys, gpu_counts=gpu_counts,
+                                     scale="scaling", epochs=epochs,
+                                     seed=self.seed)
+
+    def render_scaling(self, times: dict[str, dict[int, float]]) -> str:
+        return format_scaling(
+            times, title="Figure 9: strong scaling (speedup vs 1 GPU)"
+        )

@@ -1,0 +1,38 @@
+"""Synthetic dataset equivalents of the GNNMark inputs (Table I).
+
+Each ``load_*`` is deterministic given its seed and returns a dataclass with
+graphs/features/labels plus a :class:`~repro.datasets.base.DatasetInfo`
+documenting the substitution and scale factor.
+"""
+
+from .agenda import KGTextDataset, KGTextSample, load_agenda
+from .base import DatasetInfo, sparse_bag_of_words, train_val_test_split
+from .citation import CitationDataset, load_citation
+from .molecules import MoleculeDataset, load_molhiv
+from .movielens import InteractionDataset, load_movielens, load_nowplaying
+from .proteins import ProteinDataset, load_proteins
+from .sst import SSTDataset, SentimentTree, load_sst
+from .traffic import TrafficDataset, load_metr_la
+
+__all__ = [
+    "CitationDataset",
+    "DatasetInfo",
+    "InteractionDataset",
+    "KGTextDataset",
+    "KGTextSample",
+    "MoleculeDataset",
+    "ProteinDataset",
+    "SSTDataset",
+    "SentimentTree",
+    "TrafficDataset",
+    "load_agenda",
+    "load_citation",
+    "load_metr_la",
+    "load_molhiv",
+    "load_movielens",
+    "load_nowplaying",
+    "load_proteins",
+    "load_sst",
+    "sparse_bag_of_words",
+    "train_val_test_split",
+]

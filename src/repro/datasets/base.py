@@ -1,0 +1,63 @@
+"""Shared dataset plumbing.
+
+Every dataset module exposes a ``load_*`` function returning a small
+dataclass with the graphs/features/labels plus a :class:`DatasetInfo`
+recording what it substitutes for and how far it is scaled down from the
+original (single-CPU-core environment).  Inter-dataset ratios that the
+paper's findings depend on — e.g. NowPlaying feature vectors being 10x wider
+than MovieLens — are preserved exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Provenance record for a synthetic dataset."""
+
+    name: str
+    substitutes_for: str
+    #: linear scale factor vs. the original (nodes/samples), approximate.
+    scale: float
+    notes: str = ""
+
+
+def train_val_test_split(
+    n: int, rng: np.random.Generator, train: float = 0.7, val: float = 0.15
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    order = rng.permutation(n)
+    n_train = int(n * train)
+    n_val = int(n * val)
+    return (
+        np.sort(order[:n_train]),
+        np.sort(order[n_train : n_train + n_val]),
+        np.sort(order[n_train + n_val :]),
+    )
+
+
+def sparse_bag_of_words(
+    num_rows: int,
+    num_features: int,
+    nnz_per_row: int,
+    rng: np.random.Generator,
+    skew: float = 1.1,
+) -> np.ndarray:
+    """Binary bag-of-words features with Zipfian word popularity.
+
+    Dense float32 output (the H2D copies the paper instruments transfer the
+    dense tensor), but with realistic ~99% sparsity like citation datasets.
+    """
+    ranks = np.arange(1, num_features + 1, dtype=np.float64)
+    probs = ranks ** (-skew)
+    probs /= probs.sum()
+    out = np.zeros((num_rows, num_features), dtype=np.float32)
+    for row in range(num_rows):
+        k = max(1, int(rng.poisson(nnz_per_row)))
+        words = rng.choice(num_features, size=min(k, num_features),
+                           replace=False, p=probs)
+        out[row, words] = 1.0
+    return out

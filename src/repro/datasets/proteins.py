@@ -1,0 +1,73 @@
+"""Synthetic protein-graph classification dataset (PROTEINS equivalent) for
+the k-GNN workloads: medium-size graphs (mean ~39 nodes), 3 categorical node
+labels (secondary-structure elements), binary enzyme/non-enzyme target."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import Graph, generators
+from .base import DatasetInfo, train_val_test_split
+
+
+@dataclass
+class ProteinDataset:
+    info: DatasetInfo
+    graphs: list[Graph]
+    #: per-graph one-hot node features (num_nodes, 3)
+    node_features: list[np.ndarray]
+    labels: np.ndarray
+    train_idx: np.ndarray
+    val_idx: np.ndarray
+    test_idx: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+
+def load_proteins(num_graphs: int = 224, seed: int = 0) -> ProteinDataset:
+    """~5x scaled PROTEINS (1113 graphs, mean 39 nodes, 3 node labels)."""
+    rng = np.random.default_rng(seed)
+    graphs, feats, labels = [], [], []
+    for _ in range(num_graphs):
+        n = int(np.clip(rng.normal(39, 12), 12, 80))
+        is_enzyme = int(rng.random() < 0.5)
+        # Enzymes: more helix-like chains (higher clustering); non-enzymes:
+        # sparser sheet-like structure.
+        avg_deg = 3.8 if is_enzyme else 2.6
+        g = generators.erdos_renyi(n, avg_deg / 2, rng).to_undirected()
+        # Ensure a backbone chain so graphs are connected like real proteins.
+        chain = np.arange(n - 1)
+        g = Graph(
+            np.concatenate([g.src, chain, chain + 1]),
+            np.concatenate([g.dst, chain + 1, chain]),
+            num_nodes=n,
+        )
+        node_label = rng.choice(3, size=n, p=[0.45, 0.35, 0.2] if is_enzyme
+                                else [0.3, 0.3, 0.4])
+        onehot = np.zeros((n, 3), dtype=np.float32)
+        onehot[np.arange(n), node_label] = 1.0
+        graphs.append(g)
+        feats.append(onehot)
+        labels.append(is_enzyme)
+
+    labels_arr = np.asarray(labels, dtype=np.int64)
+    train_idx, val_idx, test_idx = train_val_test_split(num_graphs, rng,
+                                                        train=0.8, val=0.1)
+    info = DatasetInfo(
+        name="proteins",
+        substitutes_for="PROTEINS (protein molecule classification)",
+        scale=num_graphs / 1113,
+        notes="backbone chain + density-conditioned random contacts",
+    )
+    return ProteinDataset(
+        info=info,
+        graphs=graphs,
+        node_features=feats,
+        labels=labels_arr,
+        train_idx=train_idx,
+        val_idx=val_idx,
+        test_idx=test_idx,
+    )

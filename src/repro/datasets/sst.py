@@ -1,0 +1,108 @@
+"""Synthetic sentiment treebank (SST equivalent) for the Tree-LSTM workload:
+binary parse trees over token sequences with sentiment labels at every node
+(5-class fine-grained, like SST-1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import DatasetInfo, train_val_test_split
+
+NUM_CLASSES = 5
+
+
+@dataclass
+class SentimentTree:
+    """One binarized parse tree.
+
+    Nodes 0..num_leaves-1 are leaves (in sentence order); internal nodes
+    follow.  ``parent[i]`` is -1 for the root.  Labels exist for every node,
+    as in SST.
+    """
+
+    parent: np.ndarray
+    is_leaf: np.ndarray
+    tokens: np.ndarray   # (num_leaves,) word ids for the leaves
+    labels: np.ndarray   # (num_nodes,) sentiment 0..4
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.parent.size)
+
+    @property
+    def num_leaves(self) -> int:
+        return int(self.is_leaf.sum())
+
+    def depths(self) -> np.ndarray:
+        """Height of each node above the leaves (leaves = 0)."""
+        depth = np.zeros(self.num_nodes, dtype=np.int64)
+        # children appear before parents by construction, one pass suffices
+        for node in range(self.num_nodes):
+            p = self.parent[node]
+            if p >= 0:
+                depth[p] = max(depth[p], depth[node] + 1)
+        return depth
+
+
+@dataclass
+class SSTDataset:
+    info: DatasetInfo
+    trees: list[SentimentTree]
+    vocab_size: int
+    train_idx: np.ndarray
+    val_idx: np.ndarray
+    test_idx: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+
+def load_sst(num_trees: int = 320, vocab_size: int = 3000, seed: int = 0
+             ) -> SSTDataset:
+    """~27x scaled SST (8544 train trees, mean ~19 leaves, 5 classes)."""
+    from ..graph.generators import random_binary_tree
+
+    rng = np.random.default_rng(seed)
+    # Word sentiment polarity drives node labels so the task is learnable.
+    word_polarity = rng.normal(0, 1, size=vocab_size).astype(np.float32)
+
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    probs = ranks ** (-1.05)
+    probs /= probs.sum()
+
+    trees = []
+    for _ in range(num_trees):
+        leaves = int(np.clip(rng.normal(19, 7), 4, 48))
+        parent, _, is_leaf = random_binary_tree(leaves, rng)
+        tokens = rng.choice(vocab_size, size=leaves, p=probs).astype(np.int64)
+        total = parent.size
+        score = np.zeros(total, dtype=np.float32)
+        score[:leaves] = word_polarity[tokens]
+        # propagate mean sentiment upward (children have smaller ids than
+        # their parents, so one ascending pass finalizes each node in turn)
+        counts = np.zeros(total, dtype=np.int64)
+        sums = np.zeros(total, dtype=np.float32)
+        for node in range(total):
+            if not is_leaf[node]:
+                score[node] = sums[node] / max(counts[node], 1)
+            p = parent[node]
+            if p >= 0:
+                sums[p] += score[node]
+                counts[p] += 1
+        labels = np.clip(np.digitize(score, [-1.0, -0.3, 0.3, 1.0]), 0, 4)
+        trees.append(SentimentTree(parent=parent, is_leaf=is_leaf,
+                                   tokens=tokens,
+                                   labels=labels.astype(np.int64)))
+
+    train_idx, val_idx, test_idx = train_val_test_split(num_trees, rng,
+                                                        train=0.8, val=0.1)
+    info = DatasetInfo(
+        name="sst",
+        substitutes_for="Stanford Sentiment Treebank (fine-grained)",
+        scale=num_trees / 8544,
+        notes="random binarized parses; labels from word-polarity propagation",
+    )
+    return SSTDataset(info=info, trees=trees, vocab_size=vocab_size,
+                      train_idx=train_idx, val_idx=val_idx, test_idx=test_idx)

@@ -1,0 +1,82 @@
+"""Synthetic traffic-sensor dataset (METR-LA equivalent) for STGCN.
+
+207 sensors on a k-NN road graph (as in METR-LA's Gaussian-kernel
+adjacency), with speed signals built from a daily periodic profile, spatial
+diffusion along the graph, and congestion events — the nonlinear dynamic
+signal the paper's Section II motivates modeling with dynamic-graph GNNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import Graph, TemporalSignal, generators
+from .base import DatasetInfo
+
+
+@dataclass
+class TrafficDataset:
+    info: DatasetInfo
+    graph: Graph
+    #: (time, nodes) mean-speed signal, z-normalized
+    signal: np.ndarray
+    history: int
+    horizon: int
+
+    def temporal(self) -> TemporalSignal:
+        return TemporalSignal(self.graph, self.signal, self.history, self.horizon)
+
+
+def load_metr_la(
+    num_sensors: int = 207,
+    num_steps: int = 1440,
+    history: int = 12,
+    horizon: int = 3,
+    seed: int = 0,
+) -> TrafficDataset:
+    """METR-LA-scale sensors; time axis scaled ~24x down (1440 of 34k steps)."""
+    rng = np.random.default_rng(seed)
+    graph, _ = generators.sensor_network(num_sensors, k_nearest=6, rng=rng)
+
+    steps_per_day = 288  # 5-minute bins
+    t = np.arange(num_steps)
+    daily = 55.0 + 10.0 * np.sin(2 * np.pi * t / steps_per_day)
+    rush = -12.0 * (np.exp(-((t % steps_per_day - 96) ** 2) / 200.0)
+                    + np.exp(-((t % steps_per_day - 216) ** 2) / 300.0))
+    base = daily + rush
+
+    sensor_offset = rng.normal(0, 4.0, size=num_sensors)
+    signal = base[:, None] + sensor_offset[None, :]
+    signal += rng.normal(0, 2.0, size=signal.shape)
+
+    # Congestion shocks that diffuse over the road graph for a few steps.
+    adj = graph.adjacency("rw").scipy()
+    num_events = num_steps // 120
+    for _ in range(num_events):
+        start = int(rng.integers(0, num_steps - 24))
+        epicenter = int(rng.integers(0, num_sensors))
+        impact = np.zeros(num_sensors, dtype=np.float64)
+        impact[epicenter] = -25.0
+        for step in range(24):
+            signal[start + step] += impact
+            impact = 0.6 * impact + 0.4 * (adj @ impact)
+
+    signal = signal.astype(np.float32)
+    mean, std = signal.mean(), signal.std()
+    signal = (signal - mean) / (std + 1e-8)
+    # METR-LA publishes missing readings as exact zeros (~8% of entries) and
+    # the standard pipeline keeps them; they are what little H2D sparsity the
+    # traffic workload shows.
+    missing = rng.random(signal.shape) < 0.08
+    signal[missing] = 0.0
+
+    info = DatasetInfo(
+        name="metr-la",
+        substitutes_for="METR-LA traffic speeds (207 sensors, 34k steps)",
+        scale=num_steps / 34272,
+        notes="kNN sensor graph + periodic/diffusive synthetic speeds",
+    )
+    return TrafficDataset(info=info, graph=graph, signal=signal,
+                          history=history, horizon=horizon)

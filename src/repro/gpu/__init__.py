@@ -1,0 +1,64 @@
+"""Simulated-GPU substrate: an analytical NVIDIA V100 model.
+
+Public surface:
+
+* :class:`SimulatedGPU` — one device; run kernels, copy data, read the clock.
+* :class:`MultiGPUSystem` — several devices plus an NVLink allreduce model.
+* :class:`KernelDescriptor` / :class:`KernelLaunch` — what ops emit and what
+  the device hands to profilers.
+* Config dataclasses (:class:`DeviceConfig`, :data:`V100`, ...).
+"""
+
+from .compression import CompressionResult, compress
+from .config import (
+    DEFAULT_SIMULATION,
+    NVLINK2,
+    V100,
+    DeviceConfig,
+    LinkConfig,
+    OpClassProfile,
+    SimulationConfig,
+    StallModelConfig,
+)
+from .device import DeviceStats, SimulatedGPU
+from .divergence import DivergenceResult, measure as measure_divergence
+from .kernel import (
+    FIGURE_CATEGORIES,
+    AccessKind,
+    AccessPattern,
+    KernelDescriptor,
+    KernelLaunch,
+    MemoryMetrics,
+    OpClass,
+    StallBreakdown,
+    TransferRecord,
+)
+from .multigpu import AllReduceCost, MultiGPUSystem
+
+__all__ = [
+    "AccessKind",
+    "CompressionResult",
+    "compress",
+    "AccessPattern",
+    "AllReduceCost",
+    "DEFAULT_SIMULATION",
+    "DeviceConfig",
+    "DeviceStats",
+    "DivergenceResult",
+    "FIGURE_CATEGORIES",
+    "KernelDescriptor",
+    "KernelLaunch",
+    "LinkConfig",
+    "MemoryMetrics",
+    "MultiGPUSystem",
+    "NVLINK2",
+    "OpClass",
+    "OpClassProfile",
+    "SimulatedGPU",
+    "SimulationConfig",
+    "StallBreakdown",
+    "StallModelConfig",
+    "TransferRecord",
+    "V100",
+    "measure_divergence",
+]

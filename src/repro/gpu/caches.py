@@ -1,0 +1,138 @@
+"""Analytical L1/L2 cache model.
+
+The model is deliberately simple and calibrated *per operation class* (see
+``gpu/config.py``), never per workload: the paper's central cache findings —
+single-digit L1 hit rates for GEMM/SpMM/GEMV, sub-15% for the irregular data
+movement ops, ~15% suite average at L1 and ~70% at L2 — arise from three
+inputs that genuinely differ across kernels:
+
+* the access pattern (divergence measured on real index streams),
+* the working-set footprint relative to cache capacity,
+* the op-class temporal-reuse behaviour (shared-memory tiling in dense math
+  bypasses the L1; streaming ops only get sector-level spatial reuse).
+"""
+
+from __future__ import annotations
+
+from . import divergence as divergence_mod
+from .config import SimulationConfig
+from .kernel import AccessKind, KernelDescriptor, MemoryMetrics
+
+
+def _fit_fraction(footprint_bytes: float, capacity_bytes: float) -> float:
+    """Smoothly interpolate between "fits" (1.0) and "streams" (0.0).
+
+    A footprint at half capacity is a comfortable fit; at 4x capacity there
+    is essentially no residency.
+    """
+    if footprint_bytes <= 0:
+        return 1.0
+    ratio = capacity_bytes / footprint_bytes
+    if ratio >= 2.0:
+        return 1.0
+    if ratio <= 0.25:
+        return 0.0
+    # linear in log2(ratio) between 0.25 and 2.0
+    import math
+
+    return (math.log2(ratio) + 2.0) / 3.0
+
+
+def precision_byte_scale(desc: KernelDescriptor, sim: SimulationConfig) -> float:
+    """Byte-traffic multiplier for reduced-precision training.
+
+    fp16 halves float payloads; integer index traffic (sorts, the index
+    side of gathers) is unaffected, so irregular classes scale less.
+    """
+    if sim.precision != "fp16":
+        return 1.0
+    name = desc.op_class.value
+    if name == "SORT":
+        return 1.0
+    if name in ("SCATTER", "GATHER", "INDEX_SELECT", "EMBEDDING"):
+        return 0.6
+    return 0.5
+
+
+def analyze(desc: KernelDescriptor, sim: SimulationConfig) -> MemoryMetrics:
+    """Derive memory-hierarchy metrics for one kernel launch."""
+    dev = sim.device
+    profile = sim.profile_for(desc.op_class.value)
+    byte_scale = precision_byte_scale(desc, sim)
+    div = divergence_mod.measure(
+        desc.access,
+        line_bytes=dev.l1_line_bytes,
+        warp_size=dev.warp_size,
+        sample=sim.divergence_sample,
+    )
+
+    warp_loads = max(1.0, desc.ldst_instrs / dev.warp_size)
+    transactions = warp_loads * div.lines_per_warp
+
+    # --- L1 ---------------------------------------------------------------
+    # Footprint seen by one SM: blocks are spread across SMs, so each SM sees
+    # roughly footprint / active_sms of the data (plus shared structures).
+    active_sms = min(dev.num_sms, desc.blocks)
+    per_sm_footprint = byte_scale * desc.working_set_bytes / max(1, active_sms)
+    l1_fit = _fit_fraction(per_sm_footprint, dev.l1_size_bytes)
+    # The V100 L1 is write-through and private per SM: data produced by the
+    # previous kernel is never L1-resident, so residency only pays off when
+    # the kernel itself re-touches lines (reuse_factor > 1).
+    reuse_gate = min(1.0, max(0.0, desc.reuse_factor - 1.0))
+    l1_hit = profile.l1_base_hit + (
+        profile.l1_resident_hit - profile.l1_base_hit
+    ) * l1_fit * reuse_gate
+
+    if desc.access.kind is AccessKind.IRREGULAR:
+        # Temporal locality measured from the real index stream: when few
+        # unique lines are touched the gather enjoys genuine L1 reuse — but
+        # never beyond the class ceiling (gathered rows in full-scale graphs
+        # thrash the tiny per-SM cache regardless of index repetition).
+        temporal_reuse = 1.0 - div.unique_line_fraction
+        ceiling = max(profile.l1_resident_hit, 2.0 * profile.l1_base_hit)
+        boosted = profile.l1_base_hit + 0.6 * temporal_reuse * l1_fit_boost(
+            per_sm_footprint, dev.l1_size_bytes
+        )
+        l1_hit = max(l1_hit, min(ceiling, boosted))
+        # ...and heavy divergence wastes the cache on partially-used lines.
+        l1_hit *= 1.0 - 0.35 * div.divergent_fraction
+    l1_hit = min(0.97, max(0.0, l1_hit))
+
+    # Bytes that miss L1 and travel to L2.  Divergent warps move whole lines
+    # for partially-used data, inflating traffic beyond the useful bytes.
+    line_traffic = transactions * dev.l1_line_bytes
+    useful_bytes = byte_scale * desc.total_bytes
+    moved_bytes = max(useful_bytes, min(line_traffic, useful_bytes * div.lines_per_warp))
+    l2_bytes = moved_bytes * (1.0 - l1_hit)
+
+    # --- L2 ---------------------------------------------------------------
+    l2_fit = _fit_fraction(byte_scale * desc.working_set_bytes, dev.l2_size_bytes)
+    l2_hit = profile.l2_base_hit + (profile.l2_resident_hit - profile.l2_base_hit) * l2_fit
+    if desc.access.kind is AccessKind.IRREGULAR:
+        temporal_reuse = 1.0 - div.unique_line_fraction
+        l2_hit = max(l2_hit * (1.0 - 0.25 * div.divergent_fraction),
+                     min(0.9, l2_hit + 0.3 * temporal_reuse))
+    l2_hit = min(0.98, max(0.0, l2_hit))
+
+    dram_bytes = l2_bytes * (1.0 - l2_hit)
+    # Streaming writes larger than the L2 cannot be coalesced away: they
+    # spill to DRAM no matter what the class's hit floor says.
+    write_spill = max(
+        0.0, byte_scale * desc.bytes_written - dev.l2_size_bytes / 2
+    ) * 0.7
+    dram_bytes = max(dram_bytes, min(write_spill, l2_bytes))
+
+    return MemoryMetrics(
+        transactions=transactions,
+        divergent_load_fraction=div.divergent_fraction,
+        lines_per_warp=div.lines_per_warp,
+        l1_hit_rate=l1_hit,
+        l2_hit_rate=l2_hit,
+        l2_bytes=l2_bytes,
+        dram_bytes=dram_bytes,
+    )
+
+
+def l1_fit_boost(per_sm_footprint: float, l1_size: float) -> float:
+    """Residency boost for measured temporal locality (0..1)."""
+    return _fit_fraction(per_sm_footprint, l1_size * 4.0)

@@ -1,0 +1,201 @@
+"""Device configuration for the simulated GPU.
+
+The default configuration models an NVIDIA V100 (Volta, SXM2 16 GB), the GPU
+used throughout the GNNMark paper: 80 SMs, 14 TFLOPS peak fp32, 128 KB
+combined L1/shared-memory per SM, a 6.14 MB shared L2, and 900 GB/s HBM2.
+
+Calibration constants for the analytical cache/stall models live in
+:class:`OpClassProfile`.  They are defined once per *operation class* (GEMM,
+scatter, sort, ...), never per workload, so differences between workloads in
+the reproduced figures are emergent properties of the kernel streams that the
+workloads actually launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Static hardware parameters of a simulated GPU."""
+
+    name: str = "Tesla V100-SXM2-16GB"
+    num_sms: int = 80
+    clock_hz: float = 1.38e9
+    #: fp32 FMA lanes per SM (each does 2 FLOPs/cycle) -> 14.1 TFLOPS peak.
+    fp32_lanes_per_sm: int = 64
+    #: dedicated int32 lanes per SM (Volta separates INT32 from FP32).
+    int32_lanes_per_sm: int = 64
+    #: special-function units per SM (transcendentals).
+    sfu_lanes_per_sm: int = 16
+    #: warp schedulers per SM; each can issue one instruction per cycle.
+    issue_width_per_sm: int = 4
+    warp_size: int = 32
+    max_warps_per_sm: int = 64
+
+    #: L1 data cache / shared memory, per SM.  128 KB combined on Volta; the
+    #: portion acting as hardware-managed data cache.
+    l1_size_bytes: int = 128 * 1024
+    l1_line_bytes: int = 128
+    l1_sector_bytes: int = 32
+    #: shared L2: 6.14 MB in the paper's description of the V100.
+    l2_size_bytes: int = int(6.14 * 1024 * 1024)
+    #: L2 aggregate bandwidth (bytes per clock across the chip).
+    l2_bytes_per_cycle: float = 1600.0
+
+    dram_size_bytes: int = 16 * 1024 ** 3
+    dram_bandwidth_bytes_per_s: float = 900e9
+    dram_latency_cycles: float = 440.0
+    l2_latency_cycles: float = 200.0
+    l1_latency_cycles: float = 28.0
+
+    #: L0 instruction cache per SM-partition (12 KB on Volta) backed by a
+    #: 128 KB L1 instruction cache; drives the instruction-fetch stall model.
+    l0_icache_bytes: int = 12 * 1024
+    l1_icache_bytes: int = 128 * 1024
+
+    #: fixed host-side cost of launching one kernel (seconds).
+    kernel_launch_overhead_s: float = 4.0e-6
+    #: host-to-device copy bandwidth over PCIe 3.0 x16 (effective).
+    pcie_bandwidth_bytes_per_s: float = 12e9
+    pcie_latency_s: float = 10e-6
+
+    @property
+    def peak_fp32_flops(self) -> float:
+        """Peak single-precision FLOP/s (FMA counted as two FLOPs)."""
+        return self.num_sms * self.fp32_lanes_per_sm * 2 * self.clock_hz
+
+    @property
+    def peak_int32_iops(self) -> float:
+        """Peak int32 operations per second."""
+        return self.num_sms * self.int32_lanes_per_sm * self.clock_hz
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram_bandwidth_bytes_per_s / self.clock_hz
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Inter-GPU interconnect parameters (NVLink 2.0 as on the paper's node).
+
+    Six links per GPU at 50 GB/s each, 300 GB/s aggregate, matching the AWS
+    p3.8xlarge system used for the paper's multi-GPU experiments.
+    """
+
+    name: str = "NVLink 2.0 (6 links)"
+    num_links: int = 6
+    bandwidth_per_link_bytes_per_s: float = 50e9
+    latency_s: float = 9e-6
+    #: per-bucket software overhead of NCCL-style ring allreduce (seconds).
+    allreduce_bucket_overhead_s: float = 35e-6
+
+    @property
+    def aggregate_bandwidth_bytes_per_s(self) -> float:
+        return self.num_links * self.bandwidth_per_link_bytes_per_s
+
+
+@dataclass(frozen=True)
+class OpClassProfile:
+    """Per-operation-class calibration constants for the analytical models.
+
+    Attributes:
+        l1_base_hit: L1 hit rate for this class when footprint fits poorly;
+            classes that tile through shared memory (GEMM/CONV) bypass the L1
+            and show single-digit rates, as the paper reports.
+        l1_resident_hit: L1 hit rate when the working set fits in the L1.
+        l2_base_hit: L2 hit rate floor for streaming footprints.
+        l2_resident_hit: L2 hit rate when the footprint fits in the L2.
+        ilp: average independent instructions in flight per thread; low ILP
+            raises execution-dependency stalls.
+        fma_fraction: fraction of fp32 math issued as fused multiply-add
+            (2 FLOPs per instruction).
+        code_bytes: static instruction footprint of a typical kernel of this
+            class; large unrolled kernels pressure the L0 I-cache.
+        mlp: memory-level parallelism — overlapping outstanding loads per
+            thread, used by the latency-bound model.
+        unit_efficiency: fraction of peak unit throughput the class's
+            kernels sustain (prologue/epilogue, bank conflicts, skinny-shape
+            pipeline bubbles); dense math never runs at datasheet peak.
+    """
+
+    l1_base_hit: float
+    l1_resident_hit: float
+    l2_base_hit: float
+    l2_resident_hit: float
+    ilp: float
+    fma_fraction: float
+    code_bytes: int
+    mlp: float = 2.0
+    unit_efficiency: float = 1.0
+
+
+def _profiles() -> dict[str, OpClassProfile]:
+    return {
+        # Dense math: software-pipelined shared-memory tiles; almost no L1
+        # reuse (paper: GEMM/SpMM/GEMV L1 hit < 10%), strong L2 tile reuse.
+        "GEMM": OpClassProfile(0.05, 0.10, 0.62, 0.80, 3.5, 0.95, 14 * 1024, 6.0, 0.70),
+        "GEMV": OpClassProfile(0.05, 0.09, 0.55, 0.72, 2.5, 0.90, 6 * 1024, 4.0, 0.50),
+        "SPMM": OpClassProfile(0.06, 0.10, 0.50, 0.68, 2.0, 0.80, 10 * 1024, 3.0, 0.55),
+        "CONV2D": OpClassProfile(0.06, 0.12, 0.62, 0.80, 3.5, 0.95, 18 * 1024, 6.0, 0.22),
+        # Streaming elementwise: sector-level spatial reuse only; the V100
+        # L1 is write-through, so producer->consumer reuse never hits in L1.
+        "ELEMENTWISE": OpClassProfile(0.13, 0.30, 0.42, 0.65, 2.2, 0.45, 7 * 1024, 3.0, 0.95),
+        "COPY": OpClassProfile(0.08, 0.22, 0.40, 0.62, 2.5, 0.0, 3 * 1024, 4.0, 0.95),
+        # Tree/partial reductions re-touch partial sums.
+        "REDUCTION": OpClassProfile(0.11, 0.30, 0.52, 0.70, 1.6, 0.50, 8 * 1024, 2.0, 0.80),
+        "SOFTMAX": OpClassProfile(0.12, 0.30, 0.52, 0.70, 1.7, 0.55, 9 * 1024, 2.0, 0.80),
+        "BATCHNORM": OpClassProfile(0.12, 0.30, 0.52, 0.70, 1.8, 0.60, 10 * 1024, 2.0, 0.80),
+        # Irregular data movement: hit rates largely measured from the real
+        # index streams; these are the floors (paper: < 15%).
+        "SCATTER": OpClassProfile(0.06, 0.20, 0.45, 0.65, 1.4, 0.20, 6 * 1024, 1.8, 0.85),
+        "GATHER": OpClassProfile(0.07, 0.20, 0.48, 0.66, 1.6, 0.20, 6 * 1024, 2.2, 0.90),
+        "INDEX_SELECT": OpClassProfile(0.08, 0.22, 0.48, 0.66, 1.6, 0.15, 6 * 1024, 2.2, 0.90),
+        "EMBEDDING": OpClassProfile(0.08, 0.22, 0.48, 0.66, 1.6, 0.15, 6 * 1024, 2.2, 0.90),
+        # Radix/merge sort passes: heavily unrolled (I-cache pressure),
+        # integer dominated, bank-conflicted scatter phases.
+        "SORT": OpClassProfile(0.09, 0.20, 0.48, 0.66, 1.5, 0.05, 24 * 1024, 1.6, 0.65),
+        "OTHER": OpClassProfile(0.09, 0.25, 0.48, 0.68, 1.8, 0.30, 8 * 1024, 2.0, 0.90),
+    }
+
+
+@dataclass(frozen=True)
+class StallModelConfig:
+    """Global weights for the stall-attribution model (see gpu/stalls.py)."""
+
+    mem_weight: float = 1.00
+    exec_weight: float = 0.88
+    ifetch_weight: float = 0.72
+    sync_weight: float = 0.05
+    pipe_busy_weight: float = 0.06
+    not_selected_weight: float = 0.07
+    other_weight: float = 0.05
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Bundle of device + model calibration used by a :class:`SimulatedGPU`."""
+
+    device: DeviceConfig = field(default_factory=DeviceConfig)
+    link: LinkConfig = field(default_factory=LinkConfig)
+    stalls: StallModelConfig = field(default_factory=StallModelConfig)
+    profiles: dict[str, OpClassProfile] = field(default_factory=_profiles)
+    #: cap on how many irregular indices are inspected per launch when
+    #: measuring divergence/locality (keeps simulation O(1) per kernel).
+    divergence_sample: int = 4096
+    #: "fp32" (default) or "fp16": half-precision training (the paper's
+    #: future-work item) halves float traffic/footprints and doubles fp
+    #: unit throughput on Volta.
+    precision: str = "fp32"
+    #: H2D transfer compression scheme exploiting measured value sparsity
+    #: (the paper's Figure-7 proposal): "none", "zvc", "rle" or "adaptive".
+    transfer_compression: str = "none"
+
+    def profile_for(self, op_class_name: str) -> OpClassProfile:
+        return self.profiles.get(op_class_name, self.profiles["OTHER"])
+
+
+V100 = DeviceConfig()
+NVLINK2 = LinkConfig()
+DEFAULT_SIMULATION = SimulationConfig()

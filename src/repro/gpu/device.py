@@ -1,0 +1,195 @@
+"""The simulated GPU device.
+
+A :class:`SimulatedGPU` keeps a simulated clock.  The tensor framework calls
+:meth:`launch` for every kernel an operation would run on real hardware; the
+device runs the analytical cache/timing/stall models and advances the clock
+by the kernel duration plus launch overhead.  Host<->device copies go through
+:meth:`h2d` / :meth:`d2h`, which measure the value sparsity of the actual
+buffer — the paper's transfer-sparsity instrumentation.
+
+Profilers subscribe as listeners; the device itself only keeps aggregate
+counters so that arbitrarily long training runs stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from . import caches, stalls, timing
+from .config import DEFAULT_SIMULATION, SimulationConfig
+from .kernel import KernelDescriptor, KernelLaunch, TransferRecord
+
+LaunchListener = Callable[[KernelLaunch], None]
+TransferListener = Callable[[TransferRecord], None]
+
+
+@dataclass
+class DeviceStats:
+    """Aggregate counters maintained by the device itself."""
+
+    kernel_count: int = 0
+    kernel_time_s: float = 0.0
+    launch_overhead_s: float = 0.0
+    transfer_count: int = 0
+    transfer_time_s: float = 0.0
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    fp32_flops: float = 0.0
+    int32_iops: float = 0.0
+
+    def reset(self) -> None:
+        self.kernel_count = 0
+        self.kernel_time_s = 0.0
+        self.launch_overhead_s = 0.0
+        self.transfer_count = 0
+        self.transfer_time_s = 0.0
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+        self.fp32_flops = 0.0
+        self.int32_iops = 0.0
+
+
+class SimulatedGPU:
+    """An analytical model of one GPU (default: NVIDIA V100)."""
+
+    def __init__(
+        self,
+        sim: SimulationConfig | None = None,
+        device_id: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim or DEFAULT_SIMULATION
+        self.device_id = device_id
+        self.name = name or f"cuda:{device_id}"
+        self.clock_s = 0.0
+        #: host-side enqueue clock: CUDA launches are asynchronous, so the
+        #: CPU runs ahead of the GPU; a kernel can start no earlier than its
+        #: enqueue completes.  Launch overhead therefore only opens real GPU
+        #: gaps when kernels are shorter than the enqueue rate — the effect
+        #: that starves many-tiny-kernel workloads (Tree-LSTM) while large
+        #: kernels absorb it entirely.
+        self.host_clock_s = 0.0
+        self.stats = DeviceStats()
+        self._launch_listeners: list[LaunchListener] = []
+        self._transfer_listeners: list[TransferListener] = []
+        self._launch_counter = 0
+
+    # -- listener management -------------------------------------------------
+    def add_launch_listener(self, listener: LaunchListener) -> None:
+        self._launch_listeners.append(listener)
+
+    def remove_launch_listener(self, listener: LaunchListener) -> None:
+        self._launch_listeners.remove(listener)
+
+    def add_transfer_listener(self, listener: TransferListener) -> None:
+        self._transfer_listeners.append(listener)
+
+    def remove_transfer_listener(self, listener: TransferListener) -> None:
+        self._transfer_listeners.remove(listener)
+
+    # -- execution ------------------------------------------------------------
+    def launch(self, desc: KernelDescriptor) -> KernelLaunch:
+        """Simulate one kernel launch and advance the device clock."""
+        mem = caches.analyze(desc, self.sim)
+        tim = timing.analyze(desc, mem, self.sim)
+        stall = stalls.attribute(desc, mem, tim, self.sim)
+
+        self.host_clock_s += self.sim.device.kernel_launch_overhead_s
+        start = max(self.clock_s, self.host_clock_s)
+        gap = start - self.clock_s
+        launch = KernelLaunch(
+            descriptor=desc,
+            launch_id=self._launch_counter,
+            device_id=self.device_id,
+            cycles=tim.cycles,
+            duration_s=tim.duration_s,
+            start_s=start,
+            instructions=tim.instructions,
+            fp32_instrs=tim.fp32_instrs,
+            int32_instrs=tim.int32_instrs,
+            ipc=tim.ipc,
+            occupancy=tim.occupancy,
+            memory=mem,
+            stalls=stall,
+        )
+        self._launch_counter += 1
+        self.clock_s = launch.end_s
+
+        self.stats.kernel_count += 1
+        self.stats.kernel_time_s += tim.duration_s
+        self.stats.launch_overhead_s += gap
+        self.stats.fp32_flops += desc.fp32_flops
+        self.stats.int32_iops += desc.int32_iops
+
+        for listener in self._launch_listeners:
+            listener(launch)
+        return launch
+
+    def _transfer(
+        self, array: np.ndarray, direction: str, label: str
+    ) -> TransferRecord:
+        values = np.asarray(array)
+        nbytes = int(values.nbytes)
+        if values.dtype == np.bool_ or np.issubdtype(values.dtype, np.number):
+            num_zeros = int(values.size - np.count_nonzero(values))
+        else:
+            num_zeros = 0
+        wire_bytes = nbytes
+        if self.sim.transfer_compression != "none" and direction == "h2d":
+            from .compression import compress
+
+            wire_bytes = compress(values, self.sim.transfer_compression).compressed_bytes
+        duration = timing.h2d_time(wire_bytes, self.sim)
+        # PyTorch-1.5-style pageable copies are synchronous: the host stalls
+        # until the copy completes, re-aligning both clocks.
+        start = max(self.clock_s, self.host_clock_s)
+        record = TransferRecord(
+            direction=direction,
+            nbytes=nbytes,
+            num_values=int(values.size),
+            num_zeros=num_zeros,
+            label=label,
+            start_s=start,
+            duration_s=duration,
+            device_id=self.device_id,
+            wire_bytes=wire_bytes,
+        )
+        self.clock_s = start + duration
+        self.host_clock_s = self.clock_s
+        self.stats.transfer_count += 1
+        self.stats.transfer_time_s += duration
+        if direction == "h2d":
+            self.stats.h2d_bytes += nbytes
+        else:
+            self.stats.d2h_bytes += nbytes
+        for listener in self._transfer_listeners:
+            listener(record)
+        return record
+
+    def h2d(self, array: np.ndarray, label: str = "") -> TransferRecord:
+        """Copy a host buffer to the device, measuring value sparsity."""
+        return self._transfer(array, "h2d", label)
+
+    def d2h(self, array: np.ndarray, label: str = "") -> TransferRecord:
+        """Copy a device buffer back to the host."""
+        return self._transfer(array, "d2h", label)
+
+    # -- clock ---------------------------------------------------------------
+    def elapsed_s(self) -> float:
+        return self.clock_s
+
+    def reset(self) -> None:
+        """Reset the clocks and aggregate counters (listeners are kept)."""
+        self.clock_s = 0.0
+        self.host_clock_s = 0.0
+        self._launch_counter = 0
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SimulatedGPU({self.name}, kernels={self.stats.kernel_count}, "
+            f"t={self.clock_s * 1e3:.3f} ms)"
+        )

@@ -1,0 +1,295 @@
+"""Kernel taxonomy and launch records for the simulated GPU.
+
+Every operation executed by the tensor framework on a simulated device emits
+one or more :class:`KernelDescriptor` objects.  A descriptor captures what a
+real CUDA kernel of that operation would look like to a profiler: thread
+geometry, dynamic instruction counts, byte traffic, and the memory-access
+pattern (including, for irregular operations, the *actual index array* so the
+divergence model can measure rather than guess).
+
+The device model consumes a descriptor and returns a :class:`KernelLaunch`
+holding the derived metrics (cycles, stalls, cache hit rates, IPC, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+class OpClass(enum.Enum):
+    """Operation classes, mirroring the categories of the paper's Figure 2.
+
+    The paper decomposes GNN training time into GEMM, SpMM, convolutions,
+    scatters, gathers, reductions, index selection, sorting and element-wise
+    operations; everything else is "Other".  We keep a slightly finer
+    taxonomy (GEMV, SOFTMAX, BATCHNORM, EMBEDDING, COPY) and fold it into the
+    paper's categories via :meth:`figure_category`.
+    """
+
+    GEMM = "GEMM"
+    GEMV = "GEMV"
+    SPMM = "SPMM"
+    CONV2D = "CONV2D"
+    ELEMENTWISE = "ELEMENTWISE"
+    REDUCTION = "REDUCTION"
+    SCATTER = "SCATTER"
+    GATHER = "GATHER"
+    INDEX_SELECT = "INDEX_SELECT"
+    SORT = "SORT"
+    SOFTMAX = "SOFTMAX"
+    BATCHNORM = "BATCHNORM"
+    EMBEDDING = "EMBEDDING"
+    COPY = "COPY"
+    OTHER = "OTHER"
+
+    def figure_category(self) -> str:
+        """Map the op class onto the paper's Figure-2 breakdown category."""
+        return _FIGURE_CATEGORY[self]
+
+
+_FIGURE_CATEGORY = {
+    OpClass.GEMM: "GEMM",
+    OpClass.GEMV: "GEMM",
+    OpClass.SPMM: "SpMM",
+    OpClass.CONV2D: "Conv",
+    OpClass.ELEMENTWISE: "Elementwise",
+    OpClass.REDUCTION: "Reduction",
+    OpClass.SCATTER: "Scatter",
+    OpClass.GATHER: "Gather",
+    OpClass.INDEX_SELECT: "IndexSelect",
+    OpClass.SORT: "Sort",
+    OpClass.SOFTMAX: "Reduction",
+    OpClass.BATCHNORM: "BatchNorm",
+    OpClass.EMBEDDING: "Gather",
+    OpClass.COPY: "Other",
+    OpClass.OTHER: "Other",
+}
+
+#: Order used when rendering Figure-2 style tables.
+FIGURE_CATEGORIES = (
+    "GEMM",
+    "SpMM",
+    "Conv",
+    "BatchNorm",
+    "Scatter",
+    "Gather",
+    "Reduction",
+    "IndexSelect",
+    "Sort",
+    "Elementwise",
+    "Other",
+)
+
+
+class AccessKind(enum.Enum):
+    COALESCED = "coalesced"
+    STRIDED = "strided"
+    IRREGULAR = "irregular"
+
+
+@dataclass
+class AccessPattern:
+    """Describes how a kernel's dominant loads touch memory.
+
+    For :attr:`AccessKind.IRREGULAR` the *actual* index array driving the
+    gather/scatter is attached; the divergence model inspects it directly,
+    which is the analogue of the paper's NVBit instrumentation.
+    """
+
+    kind: AccessKind = AccessKind.COALESCED
+    stride_bytes: int = 4
+    element_bytes: int = 4
+    indices: Optional[np.ndarray] = None
+
+    @staticmethod
+    def coalesced(element_bytes: int = 4) -> "AccessPattern":
+        return AccessPattern(AccessKind.COALESCED, element_bytes, element_bytes)
+
+    @staticmethod
+    def strided(stride_bytes: int, element_bytes: int = 4) -> "AccessPattern":
+        return AccessPattern(AccessKind.STRIDED, stride_bytes, element_bytes)
+
+    @staticmethod
+    def irregular(indices: np.ndarray, element_bytes: int = 4) -> "AccessPattern":
+        return AccessPattern(
+            AccessKind.IRREGULAR, element_bytes, element_bytes, np.asarray(indices)
+        )
+
+
+@dataclass
+class KernelDescriptor:
+    """Static description of a single kernel launch.
+
+    Instruction counts are *dynamic* totals over all threads.  ``fp32_flops``
+    and ``int32_iops`` are the arithmetic work (used for GFLOPS/GIOPS);
+    instruction counts are derived from them by the timing model using the
+    op-class FMA fraction.
+    """
+
+    name: str
+    op_class: OpClass
+    threads: int
+    fp32_flops: float = 0.0
+    int32_iops: float = 0.0
+    ldst_instrs: float = 0.0
+    control_instrs: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    working_set_bytes: float = 0.0
+    #: average number of times each cached line is re-touched after first use.
+    reuse_factor: float = 1.0
+    access: AccessPattern = field(default_factory=AccessPattern.coalesced)
+    block_size: int = 256
+    #: tag propagated from autograd: "forward", "backward" or "optimizer".
+    phase: str = "forward"
+    #: extra compute-cycle multiplier for shape effects the op knows about
+    #: (e.g. GEMM tile-padding waste on skinny matrices); scales cycle cost,
+    #: not the reported arithmetic work.
+    compute_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ValueError(f"kernel {self.name!r} must launch >= 1 thread")
+        if self.working_set_bytes <= 0:
+            self.working_set_bytes = max(self.bytes_read + self.bytes_written, 1.0)
+        if self.ldst_instrs <= 0:
+            # one load/store instruction per 128-byte warp transaction minimum
+            self.ldst_instrs = max(
+                (self.bytes_read + self.bytes_written) / 128.0, 1.0
+            )
+
+    @property
+    def warps(self) -> int:
+        return max(1, math.ceil(self.threads / 32))
+
+    @property
+    def blocks(self) -> int:
+        return max(1, math.ceil(self.threads / self.block_size))
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class MemoryMetrics:
+    """Memory-hierarchy outcome of one launch."""
+
+    transactions: float = 0.0
+    divergent_load_fraction: float = 0.0
+    lines_per_warp: float = 1.0
+    l1_hit_rate: float = 0.0
+    l2_hit_rate: float = 0.0
+    l2_bytes: float = 0.0
+    dram_bytes: float = 0.0
+
+
+@dataclass
+class StallBreakdown:
+    """Issue-stall attribution, matching nvprof's stall_* categories."""
+
+    memory_dependency: float = 0.0
+    execution_dependency: float = 0.0
+    instruction_fetch: float = 0.0
+    synchronization: float = 0.0
+    pipe_busy: float = 0.0
+    not_selected: float = 0.0
+    other: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "memory_dependency": self.memory_dependency,
+            "execution_dependency": self.execution_dependency,
+            "instruction_fetch": self.instruction_fetch,
+            "synchronization": self.synchronization,
+            "pipe_busy": self.pipe_busy,
+            "not_selected": self.not_selected,
+            "other": self.other,
+        }
+
+    def total(self) -> float:
+        return sum(self.as_dict().values())
+
+
+@dataclass
+class KernelLaunch:
+    """A completed (simulated) kernel launch with derived metrics."""
+
+    descriptor: KernelDescriptor
+    launch_id: int
+    device_id: int
+    cycles: float
+    duration_s: float
+    start_s: float
+    instructions: float
+    fp32_instrs: float
+    int32_instrs: float
+    ipc: float
+    occupancy: float
+    memory: MemoryMetrics
+    stalls: StallBreakdown
+
+    @property
+    def name(self) -> str:
+        return self.descriptor.name
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.descriptor.op_class
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    @property
+    def gflops(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.descriptor.fp32_flops / self.duration_s / 1e9
+
+    @property
+    def giops(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.descriptor.int32_iops / self.duration_s / 1e9
+
+
+@dataclass
+class TransferRecord:
+    """One host<->device copy, with measured value sparsity.
+
+    ``sparsity`` is the fraction of zero values in the transferred buffer —
+    the metric the paper collects by patching PyTorch's H2D copy path.
+    """
+
+    direction: str
+    nbytes: int
+    num_values: int
+    num_zeros: int
+    label: str
+    start_s: float
+    duration_s: float
+    device_id: int
+    #: bytes actually moved over PCIe (< nbytes when compression is on)
+    wire_bytes: int = -1
+
+    def __post_init__(self) -> None:
+        if self.wire_bytes < 0:
+            self.wire_bytes = self.nbytes
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.wire_bytes <= 0:
+            return 1.0
+        return self.nbytes / self.wire_bytes
+
+    @property
+    def sparsity(self) -> float:
+        if self.num_values == 0:
+            return 0.0
+        return self.num_zeros / self.num_values

@@ -1,0 +1,92 @@
+"""Multi-GPU system model: devices connected by NVLink, ring allreduce.
+
+Models the paper's 4xV100 AWS node (NVLink 2.0, six links, 300 GB/s
+aggregate).  The only collective GNNMark's multi-GPU implementations need is
+the gradient allreduce performed by PyTorch DistributedDataParallel, which
+NCCL implements as a ring: each of the N devices sends/receives
+``2 * (N - 1) / N`` of the buffer, pipelined over gradient buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import DEFAULT_SIMULATION, SimulationConfig
+from .device import SimulatedGPU
+
+
+@dataclass
+class AllReduceCost:
+    nbytes: int
+    num_buckets: int
+    duration_s: float
+
+
+class MultiGPUSystem:
+    """N simulated GPUs with an NVLink-style all-to-all interconnect."""
+
+    #: DDP default gradient bucket size (25 MB, PyTorch's default).
+    BUCKET_BYTES = 25 * 1024 * 1024
+
+    def __init__(
+        self, num_devices: int, sim: SimulationConfig | None = None
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError("need at least one device")
+        self.sim = sim or DEFAULT_SIMULATION
+        self.devices = [
+            SimulatedGPU(self.sim, device_id=i) for i in range(num_devices)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, idx: int) -> SimulatedGPU:
+        return self.devices[idx]
+
+    def allreduce_cost(self, nbytes: int) -> AllReduceCost:
+        """Time for a ring allreduce of ``nbytes`` across all devices."""
+        n = len(self.devices)
+        link = self.sim.link
+        num_buckets = max(1, -(-nbytes // self.BUCKET_BYTES))
+        if n == 1:
+            return AllReduceCost(nbytes, num_buckets, 0.0)
+        # Each device pushes 2*(N-1)/N of the data over its links; a single
+        # ring uses one link per direction, but NCCL builds num_links rings.
+        wire_bytes = 2.0 * (n - 1) / n * nbytes
+        bandwidth = link.aggregate_bandwidth_bytes_per_s
+        transfer = wire_bytes / bandwidth
+        # 2*(N-1) pipeline steps per bucket, each paying link latency, plus
+        # per-bucket software overhead.
+        latency = num_buckets * (
+            2 * (n - 1) * link.latency_s + link.allreduce_bucket_overhead_s
+        )
+        return AllReduceCost(nbytes, num_buckets, transfer + latency)
+
+    def allreduce(self, nbytes: int) -> float:
+        """Perform the allreduce: advance every device clock past it.
+
+        Returns the collective's duration.  The collective is synchronizing,
+        so all devices first align on the slowest clock.
+        """
+        cost = self.allreduce_cost(nbytes)
+        barrier = max(dev.clock_s for dev in self.devices)
+        for dev in self.devices:
+            dev.clock_s = barrier + cost.duration_s
+            dev.host_clock_s = dev.clock_s
+        return cost.duration_s
+
+    def barrier(self) -> float:
+        """Synchronize all device clocks; returns the aligned time."""
+        now = max(dev.clock_s for dev in self.devices)
+        for dev in self.devices:
+            dev.clock_s = now
+            dev.host_clock_s = now
+        return now
+
+    def elapsed_s(self) -> float:
+        return max(dev.clock_s for dev in self.devices)
+
+    def reset(self) -> None:
+        for dev in self.devices:
+            dev.reset()

@@ -1,0 +1,72 @@
+"""Issue-stall attribution model.
+
+nvprof attributes, for each kernel, the reasons warps could not issue on a
+given cycle.  We reproduce the categories the paper analyses in Figure 5 —
+memory dependency, execution dependency, instruction fetch, plus the minor
+buckets (synchronization, pipe busy, not selected, other) — from quantities
+the simulator already knows for each launch:
+
+* memory-dependency pressure grows with the memory-bound share of the
+  kernel, with L1 misses, and with measured divergence;
+* execution-dependency pressure is the inverse of the op class's
+  instruction-level parallelism, scaled by the compute-bound share;
+* instruction-fetch pressure follows the kernel's static code footprint
+  relative to the 12 KB L0 I-cache (the paper blames unrolled loops), with a
+  floor because every kernel fetches.
+"""
+
+from __future__ import annotations
+
+from .config import SimulationConfig
+from .kernel import KernelDescriptor, MemoryMetrics, StallBreakdown
+from .timing import TimingResult
+
+
+def attribute(
+    desc: KernelDescriptor,
+    mem: MemoryMetrics,
+    timing: TimingResult,
+    sim: SimulationConfig,
+) -> StallBreakdown:
+    profile = sim.profile_for(desc.op_class.value)
+    weights = sim.stalls
+
+    comp = timing.components
+    mem_cycles = max(comp["lsu"], comp["l2_bw"], comp["dram_bw"], comp["latency"])
+    compute_cycles = max(comp["issue"], comp["fp32"], comp["int32"], comp["serial"])
+    total = mem_cycles + compute_cycles
+    if total <= 0:
+        total = 1.0
+    mem_share = mem_cycles / total
+    compute_share = compute_cycles / total
+
+    miss_factor = 0.45 + 0.55 * (1.0 - mem.l1_hit_rate)
+    div_factor = 1.0 + 0.5 * mem.divergent_load_fraction
+    raw_mem = weights.mem_weight * mem_share * miss_factor * div_factor
+
+    raw_exec = weights.exec_weight * (1.2 / profile.ilp) * (0.35 + 0.65 * compute_share)
+
+    code_pressure = min(1.0, profile.code_bytes / sim.device.l0_icache_bytes)
+    raw_ifetch = weights.ifetch_weight * (0.10 + 0.22 * code_pressure)
+
+    # Minor buckets: synchronization matters for reductions/sorts/batchnorm
+    # (barriers between phases), pipe busy for dense math, not-selected for
+    # high-occupancy kernels where eligible warps exceed issue slots.
+    barrier_heavy = desc.op_class.value in {"REDUCTION", "SORT", "BATCHNORM", "SOFTMAX"}
+    raw_sync = weights.sync_weight * (2.5 if barrier_heavy else 0.6)
+    raw_pipe = weights.pipe_busy_weight * (1.5 if compute_share > 0.6 else 0.5)
+    raw_not_selected = weights.not_selected_weight * (0.4 + timing.occupancy)
+    raw_other = weights.other_weight
+
+    raw = {
+        "memory_dependency": raw_mem,
+        "execution_dependency": raw_exec,
+        "instruction_fetch": raw_ifetch,
+        "synchronization": raw_sync,
+        "pipe_busy": raw_pipe,
+        "not_selected": raw_not_selected,
+        "other": raw_other,
+    }
+    norm = sum(raw.values())
+    shares = {key: value / norm for key, value in raw.items()}
+    return StallBreakdown(**shares)

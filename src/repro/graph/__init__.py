@@ -1,0 +1,33 @@
+"""Graph library: the DGL / PyTorch-Geometric substitute.
+
+Homogeneous, heterogeneous and temporal graphs; block-diagonal batching;
+neighbor/random-walk sampling; synthetic topology generators.
+"""
+
+from . import generators
+from .batch import BatchedGraph, batch_graphs, unbatch
+from .graph import Graph
+from .hetero import EdgeType, HeteroGraph
+from .sampling import (
+    SampledBlock,
+    pinsage_neighbors,
+    random_walks,
+    uniform_neighbor_block,
+)
+from .temporal import DynamicGraph, TemporalSignal
+
+__all__ = [
+    "BatchedGraph",
+    "DynamicGraph",
+    "EdgeType",
+    "Graph",
+    "HeteroGraph",
+    "SampledBlock",
+    "TemporalSignal",
+    "batch_graphs",
+    "generators",
+    "pinsage_neighbors",
+    "random_walks",
+    "unbatch",
+    "uniform_neighbor_block",
+]

@@ -1,0 +1,72 @@
+"""Graph batching: merge many small graphs into one block-diagonal graph.
+
+This is the DGL ``dgl.batch`` mechanism the paper's Tree-LSTM workload is
+explicitly included to study: per-sample trees are fused into one graph so
+node updates run as large batched kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .graph import Graph
+
+
+@dataclass
+class BatchedGraph:
+    """A merged graph plus bookkeeping to map nodes back to samples."""
+
+    graph: Graph
+    #: node id -> index of the source graph it came from
+    graph_ids: np.ndarray
+    #: per-graph node offsets into the merged id space (len = num_graphs + 1)
+    offsets: np.ndarray
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.offsets) - 1
+
+    def nodes_of(self, i: int) -> np.ndarray:
+        return np.arange(self.offsets[i], self.offsets[i + 1], dtype=np.int64)
+
+
+def batch_graphs(graphs: Sequence[Graph]) -> BatchedGraph:
+    """Disjoint union of ``graphs`` with shifted node ids."""
+    if not graphs:
+        raise ValueError("cannot batch zero graphs")
+    sizes = np.array([g.num_nodes for g in graphs], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    srcs, dsts, weights = [], [], []
+    any_weights = any(g.edge_weight is not None for g in graphs)
+    for g, off in zip(graphs, offsets[:-1]):
+        srcs.append(g.src + off)
+        dsts.append(g.dst + off)
+        if any_weights:
+            w = (g.edge_weight if g.edge_weight is not None
+                 else np.ones(g.num_edges, dtype=np.float32))
+            weights.append(w)
+    merged = Graph(
+        np.concatenate(srcs) if srcs else np.empty(0, np.int64),
+        np.concatenate(dsts) if dsts else np.empty(0, np.int64),
+        num_nodes=int(offsets[-1]),
+        edge_weight=np.concatenate(weights) if any_weights else None,
+    )
+    graph_ids = np.repeat(np.arange(len(graphs), dtype=np.int64), sizes)
+    return BatchedGraph(graph=merged, graph_ids=graph_ids, offsets=offsets)
+
+
+def unbatch(batched: BatchedGraph) -> list[Graph]:
+    """Split a batched graph back into its component graphs."""
+    out = []
+    for i in range(batched.num_graphs):
+        lo, hi = batched.offsets[i], batched.offsets[i + 1]
+        mask = (batched.graph.src >= lo) & (batched.graph.src < hi)
+        src = batched.graph.src[mask] - lo
+        dst = batched.graph.dst[mask] - lo
+        weight = (batched.graph.edge_weight[mask]
+                  if batched.graph.edge_weight is not None else None)
+        out.append(Graph(src, dst, num_nodes=int(hi - lo), edge_weight=weight))
+    return out

@@ -1,0 +1,195 @@
+"""Graph sampling: uniform neighbor sampling and PinSAGE random walks.
+
+The device-side post-processing that real pipelines run after sampling —
+deduplicating node ids (sort + unique), compacting them, selecting top-T
+important neighbors — emits SORT kernels when a device is supplied, which is
+where the paper's large sorting share for PSAGE comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..tensor.ops import sort as sort_ops
+from .graph import Graph
+from .hetero import EdgeType, HeteroGraph
+
+
+@dataclass
+class SampledBlock:
+    """One message-passing block from a sampled frontier.
+
+    ``src_nodes`` are original graph ids providing input features;
+    ``dst_nodes`` (a prefix of src_nodes) receive aggregated messages; the
+    edges are in *local* block coordinates.
+    """
+
+    src_nodes: np.ndarray
+    dst_nodes: np.ndarray
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    edge_weight: Optional[np.ndarray] = None
+
+    @property
+    def num_src(self) -> int:
+        return int(self.src_nodes.size)
+
+    @property
+    def num_dst(self) -> int:
+        return int(self.dst_nodes.size)
+
+
+def uniform_neighbor_block(
+    graph: Graph,
+    seeds: np.ndarray,
+    fanout: int,
+    rng: np.random.Generator,
+    device=None,
+) -> SampledBlock:
+    """Sample up to ``fanout`` in-neighbors per seed (without replacement)."""
+    seeds = np.asarray(seeds, dtype=np.int64)
+    csr = graph.csr()
+    edge_src, edge_dst = [], []
+    for local, node in enumerate(seeds):
+        nbrs = csr.indices[csr.indptr[node] : csr.indptr[node + 1]]
+        if nbrs.size == 0:
+            continue
+        if nbrs.size > fanout:
+            nbrs = rng.choice(nbrs, size=fanout, replace=False)
+        edge_src.append(nbrs)
+        edge_dst.append(np.full(nbrs.size, local, dtype=np.int64))
+    picked = np.concatenate(edge_src) if edge_src else np.empty(0, np.int64)
+    dst_local = np.concatenate(edge_dst) if edge_dst else np.empty(0, np.int64)
+
+    # Device-side id compaction: sort + unique + relabel.
+    uniq, inverse = sort_ops.unique(
+        _on_device(np.concatenate([seeds, picked]), device), return_inverse=True
+    )
+    # Keep seeds first (they are the dst nodes of the block).
+    seed_pos = inverse[: seeds.size]
+    order = np.concatenate([seed_pos, np.setdiff1d(np.arange(uniq.size), seed_pos)])
+    rank = np.empty(uniq.size, dtype=np.int64)
+    rank[order] = np.arange(uniq.size)
+    src_nodes = uniq[order]
+    edge_src_local = rank[inverse[seeds.size :]]
+    return SampledBlock(
+        src_nodes=src_nodes.astype(np.int64),
+        dst_nodes=seeds,
+        edge_src=edge_src_local,
+        edge_dst=dst_local,
+    )
+
+
+def random_walks(
+    graph: Graph,
+    starts: np.ndarray,
+    length: int,
+    rng: np.random.Generator,
+    restart_prob: float = 0.0,
+) -> np.ndarray:
+    """Uniform random walks; returns (num_starts, length + 1) node ids.
+
+    Walks that hit a node with no neighbors stay in place (-like DGL's pad
+    behaviour, we repeat the node).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    csr = graph.csr()
+    indptr = csr.indptr
+    indices = csr.indices
+    walks = np.empty((starts.size, length + 1), dtype=np.int64)
+    walks[:, 0] = starts
+    current = starts.copy()
+    for step in range(1, length + 1):
+        lo = indptr[current]
+        deg = indptr[current + 1] - lo
+        draw = lo + np.floor(rng.random(current.size) * np.maximum(deg, 1)).astype(np.int64)
+        nxt = np.where(deg > 0, indices[np.minimum(draw, indices.size - 1)], current)
+        if restart_prob > 0:
+            restart = rng.random(starts.size) < restart_prob
+            nxt = np.where(restart, starts, nxt)
+        walks[:, step] = nxt
+        current = nxt
+    return walks
+
+
+def pinsage_neighbors(
+    graph: Graph,
+    seeds: np.ndarray,
+    num_walks: int,
+    walk_length: int,
+    top_t: int,
+    rng: np.random.Generator,
+    device=None,
+) -> SampledBlock:
+    """PinSAGE importance sampling: random walks + visit-count top-T.
+
+    For each seed, launch ``num_walks`` short walks, count node visits, and
+    keep the ``top_t`` most-visited nodes as weighted neighbors.  The
+    visit-count ranking is a device-side sort in the real pipeline.
+    """
+    seeds = np.asarray(seeds, dtype=np.int64)
+    # one batched walk launch for all seeds (how the real pipeline runs)
+    starts = np.repeat(seeds, num_walks)
+    walks = random_walks(graph, starts, walk_length, rng)
+    all_visited = walks[:, 1:].reshape(seeds.size, -1)
+
+    edge_src, edge_dst, edge_w = [], [], []
+    for local in range(seeds.size):
+        visited = all_visited[local]
+        visited = visited[visited != seeds[local]]
+        if visited.size == 0:
+            continue
+        counts = np.bincount(visited)
+        nodes = np.nonzero(counts)[0]
+        weights = counts[nodes].astype(np.float32)
+        order = np.argsort(-weights, kind="stable")[:top_t]
+        keep = nodes[order]
+        w = weights[order]
+        edge_src.append(keep)
+        edge_dst.append(np.full(keep.size, local, dtype=np.int64))
+        edge_w.append(w / w.sum())
+    # Device-side visit-count ranking: ONE segmented sort over every walk's
+    # visited nodes (keyed by (seed, node) 64-bit pairs), as DGL batches it.
+    sort_ops.launch_sort(device, "radix_sort_visit_counts",
+                         int(all_visited.size), 2,
+                         keys=all_visited.reshape(-1), key_bits=64)
+    picked = np.concatenate(edge_src) if edge_src else np.empty(0, np.int64)
+    dst_local = np.concatenate(edge_dst) if edge_dst else np.empty(0, np.int64)
+    weights = np.concatenate(edge_w) if edge_w else np.empty(0, np.float32)
+
+    uniq, inverse = sort_ops.unique(
+        _on_device(np.concatenate([seeds, picked]), device), return_inverse=True
+    )
+    seed_pos = inverse[: seeds.size]
+    order = np.concatenate([seed_pos, np.setdiff1d(np.arange(uniq.size), seed_pos)])
+    rank = np.empty(uniq.size, dtype=np.int64)
+    rank[order] = np.arange(uniq.size)
+    edge_src_local = rank[inverse[seeds.size :]]
+    # CSR construction for the block: sort edges by destination (64-bit
+    # (dst, src) pair keys), another device radix sort per block.
+    sort_ops.launch_sort(device, "radix_sort_block_edges",
+                         int(dst_local.size), 2,
+                         keys=dst_local * max(1, int(uniq.size)) + edge_src_local,
+                         key_bits=64)
+    return SampledBlock(
+        src_nodes=uniq[order].astype(np.int64),
+        dst_nodes=seeds,
+        edge_src=edge_src_local,
+        edge_dst=dst_local,
+        edge_weight=weights,
+    )
+
+
+class _DeviceArray:
+    """Minimal array-with-device wrapper so sort ops emit device kernels."""
+
+    def __init__(self, data: np.ndarray, device) -> None:
+        self.data = data
+        self.device = device
+
+
+def _on_device(array: np.ndarray, device):
+    return _DeviceArray(array, device) if device is not None else array

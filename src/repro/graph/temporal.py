@@ -1,0 +1,95 @@
+"""Temporal / dynamic graph support.
+
+Two common shapes from the paper's workloads are covered:
+
+* a **static topology with time-varying node signals** (STGCN traffic data):
+  :class:`TemporalSignal` slices sliding windows over a (time, nodes,
+  channels) array;
+* a **sequence of evolving snapshots** (social/communication networks):
+  :class:`DynamicGraph` holds per-step :class:`~repro.graph.graph.Graph`
+  objects plus optional per-step features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .graph import Graph
+
+
+class TemporalSignal:
+    """Sliding-window view over node signals on a fixed graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        signal: np.ndarray,
+        history: int,
+        horizon: int,
+    ) -> None:
+        if signal.ndim == 2:
+            signal = signal[:, :, None]
+        if signal.shape[1] != graph.num_nodes:
+            raise ValueError("signal second axis must equal num_nodes")
+        self.graph = graph
+        self.signal = signal.astype(np.float32)
+        self.history = history
+        self.horizon = horizon
+
+    def __len__(self) -> int:
+        return max(0, self.signal.shape[0] - self.history - self.horizon + 1)
+
+    def window(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        """(x, y): history window and the value ``horizon`` steps ahead.
+
+        x: (history, nodes, channels); y: (nodes, channels).
+        """
+        if not 0 <= t < len(self):
+            raise IndexError(t)
+        x = self.signal[t : t + self.history]
+        y = self.signal[t + self.history + self.horizon - 1]
+        return x, y
+
+    def batches(self, batch_size: int, rng: Optional[np.random.Generator] = None
+                ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """(batch, history, nodes, channels) windows plus targets."""
+        order = np.arange(len(self))
+        if rng is not None:
+            rng.shuffle(order)
+        for start in range(0, len(order), batch_size):
+            idx = order[start : start + batch_size]
+            xs = np.stack([self.window(t)[0] for t in idx])
+            ys = np.stack([self.window(t)[1] for t in idx])
+            yield xs, ys
+
+
+@dataclass
+class DynamicGraph:
+    """A discrete-time dynamic graph: one snapshot per step."""
+
+    snapshots: list[Graph] = field(default_factory=list)
+    features: list[np.ndarray] = field(default_factory=list)
+
+    def append(self, graph: Graph, feature: Optional[np.ndarray] = None) -> None:
+        self.snapshots.append(graph)
+        if feature is not None:
+            self.features.append(np.asarray(feature, dtype=np.float32))
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __getitem__(self, t: int) -> Graph:
+        return self.snapshots[t]
+
+    def node_overlap(self, t0: int, t1: int) -> float:
+        """Jaccard overlap of active (non-isolated) nodes between two steps."""
+        def active(g: Graph) -> set:
+            return set(np.concatenate([g.src, g.dst]).tolist())
+
+        a, b = active(self.snapshots[t0]), active(self.snapshots[t1])
+        if not a and not b:
+            return 1.0
+        return len(a & b) / max(1, len(a | b))

@@ -1,0 +1,47 @@
+"""The eight GNNMark workload models (Table I) plus shared GNN layers."""
+
+from .arga import ARGA, ARGAWorkload
+from .deepgcn import DeepGCN, DeepGCNWorkload
+from .graphwriter import GraphWriter, GraphWriterWorkload
+from .kgnn import KGNN, KGNNWorkload, build_pair_graph, build_triple_graph
+from .layers import (
+    ChebGraphConv,
+    GCNConv,
+    GENConv,
+    GINConv,
+    InnerProductDecoder,
+    MLPReadout,
+    SAGEConv,
+    gather_scatter,
+)
+from .pinsage import PinSAGEModel, PinSAGEWorkload
+from .stgcn import STGCN, STGCNWorkload
+from .treelstm import TreeLSTM, TreeLSTMWorkload, batch_trees
+
+__all__ = [
+    "ARGA",
+    "ARGAWorkload",
+    "ChebGraphConv",
+    "DeepGCN",
+    "DeepGCNWorkload",
+    "GCNConv",
+    "GENConv",
+    "GINConv",
+    "GraphWriter",
+    "GraphWriterWorkload",
+    "InnerProductDecoder",
+    "KGNN",
+    "KGNNWorkload",
+    "MLPReadout",
+    "PinSAGEModel",
+    "PinSAGEWorkload",
+    "SAGEConv",
+    "STGCN",
+    "STGCNWorkload",
+    "TreeLSTM",
+    "TreeLSTMWorkload",
+    "batch_trees",
+    "build_pair_graph",
+    "build_triple_graph",
+    "gather_scatter",
+]

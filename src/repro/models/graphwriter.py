@@ -1,0 +1,241 @@
+"""GW: GraphWriter (Koncel-Kedziorski et al.) — knowledge-graph-to-text.
+
+A graph-transformer encoder attends over entity states along knowledge-graph
+edges; a title LSTM provides context; an attention LSTM decoder generates
+the abstract with teacher forcing.  The dense attention + vocabulary
+projections make this the suite's GEMM/fp32-dominated workload (the one
+model whose instruction mix flips to floating point in Figure 3, reaching
+~2 TFLOPS in Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.agenda import EOS, KGTextDataset, KGTextSample, NUM_RELATIONS, PAD
+from ..tensor import Tensor, functional as F, nn
+from ..tensor.optim import Adam
+
+NEG_INF = -1e9
+
+
+class GraphTransformerLayer(nn.Module):
+    def __init__(self, dim: int, heads: int, dropout: float = 0.1) -> None:
+        super().__init__()
+        self.attn = nn.MultiheadAttention(dim, heads, dropout=dropout)
+        self.norm1 = nn.LayerNorm(dim)
+        self.norm2 = nn.LayerNorm(dim)
+        self.ffn = nn.Sequential(
+            nn.Linear(dim, dim * 4),
+            nn.ReLU(),
+            nn.Linear(dim * 4, dim),
+        )
+        self.dropout = nn.Dropout(dropout)
+
+    def forward(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        h = self.norm1(x + self.dropout(self.attn(x, x, x, attn_mask=mask)))
+        return self.norm2(h + self.dropout(self.ffn(h)))
+
+
+class GraphWriter(nn.Module):
+    def __init__(self, vocab_size: int, num_entity_types: int,
+                 dim: int = 128, heads: int = 4, layers: int = 2) -> None:
+        super().__init__()
+        self.dim = dim
+        self.token_embedding = nn.Embedding(vocab_size, dim)
+        self.type_embedding = nn.Embedding(num_entity_types, dim)
+        self.relation_embedding = nn.Embedding(NUM_RELATIONS, dim)
+        self.encoder = nn.ModuleList(
+            [GraphTransformerLayer(dim, heads) for _ in range(layers)]
+        )
+        self.title_lstm = nn.LSTMCell(dim, dim)
+        self.decoder = nn.LSTMCell(dim * 2, dim)
+        self.attn_query = nn.Linear(dim, dim, bias=False)
+        self.out = nn.Linear(dim * 2, vocab_size)
+        self.vocab_size = vocab_size
+
+    # -- encoder ---------------------------------------------------------
+    def encode_entities(self, entities: Tensor, types: Tensor,
+                        adj_mask: np.ndarray) -> Tensor:
+        """entities/types: (batch, max_e) ids; adj_mask additive (b,1,e,e)."""
+        x = self.token_embedding(entities) + self.type_embedding(types)
+        for layer in self.encoder:
+            x = layer(x, adj_mask)
+        return x
+
+    def encode_title(self, title: np.ndarray, device=None) -> Tensor:
+        """(batch, title_len) ids -> final LSTM hidden state."""
+        emb = self.token_embedding(title)
+        state = None
+        for t in range(title.shape[1]):
+            step = emb[:, t]
+            state = self.title_lstm(step, state)
+        return state[0]
+
+    # -- decoder ----------------------------------------------------------
+    def decode_step(self, prev_token_emb: Tensor, context: Tensor,
+                    state, entity_states: Tensor, entity_mask: np.ndarray
+                    ) -> tuple[Tensor, tuple]:
+        """One teacher-forced step; returns the pre-projection state."""
+        inp = F.cat([prev_token_emb, context], axis=1)
+        h, c = self.decoder(inp, state)
+        query = self.attn_query(h).unsqueeze(1)          # (b, 1, d)
+        scores = F.matmul(query, entity_states.transpose(-2, -1)).squeeze(1)
+        scores = scores + Tensor(entity_mask, device=scores.device,
+                                 _skip_copy=True)
+        alpha = F.softmax(scores, axis=-1).unsqueeze(1)  # (b, 1, e)
+        attended = F.matmul(alpha, entity_states).squeeze(1)
+        out_state = F.cat([h, attended], axis=1)
+        return out_state, ((h, c), attended)
+
+    def project_vocab(self, states: Tensor) -> Tensor:
+        """(rows, 2*dim) -> (rows, vocab): ONE large GEMM for all steps.
+
+        Real seq2seq training collects every decoder state and projects them
+        in a single batched matmul — the efficient, fp32-dominated kernel
+        behind GraphWriter's ~2 TFLOPS in the paper's Figure 4.
+        """
+        return self.out(states)
+
+
+def pad_batch(samples: list[KGTextSample]) -> dict[str, np.ndarray]:
+    """Pad entities/titles/abstracts and build attention masks."""
+    b = len(samples)
+    max_e = max(s.entities.size for s in samples)
+    max_t = max(s.title.size for s in samples)
+    max_a = max(s.abstract.size for s in samples)
+    entities = np.zeros((b, max_e), dtype=np.int64)
+    types = np.zeros((b, max_e), dtype=np.int64)
+    titles = np.zeros((b, max_t), dtype=np.int64)
+    abstracts = np.full((b, max_a), PAD, dtype=np.int64)
+    # the structure travels to the device as a boolean adjacency (mostly
+    # zeros for sparse KGs) and is converted to an additive -inf mask there
+    adjacency = np.zeros((b, 1, max_e, max_e), dtype=np.float32)
+    valid = np.zeros((b, max_e), dtype=np.float32)
+    for i, s in enumerate(samples):
+        ne = s.entities.size
+        entities[i, :ne] = s.entities
+        types[i, :ne] = s.entity_types
+        titles[i, : s.title.size] = s.title
+        abstracts[i, : s.abstract.size] = s.abstract
+        valid[i, :ne] = 1.0
+        adjacency[i, 0, np.arange(ne), np.arange(ne)] = 1.0
+        if s.triples.size:
+            heads, _, tails = s.triples[:, 0], s.triples[:, 1], s.triples[:, 2]
+            adjacency[i, 0, heads, tails] = 1.0
+            adjacency[i, 0, tails, heads] = 1.0
+    adj_mask = np.where(adjacency > 0, 0.0, NEG_INF).astype(np.float32)
+    entity_mask = np.where(valid > 0, 0.0, NEG_INF).astype(np.float32)
+    return {
+        "entities": entities,
+        "types": types,
+        "titles": titles,
+        "abstracts": abstracts,
+        "adjacency": adjacency,
+        "valid": valid,
+        "adj_mask": adj_mask,
+        "entity_mask": entity_mask,
+    }
+
+
+@dataclass
+class GraphWriterWorkload:
+    model: GraphWriter
+    dataset: KGTextDataset
+    optimizer: Adam
+    batch_size: int = 8
+    batches_per_epoch: int = 6
+    device: object = None
+    #: truncate teacher forcing (BPTT truncation), as long-sequence trainers do
+    max_decode_steps: int = 0
+
+    @classmethod
+    def build(cls, dataset: KGTextDataset, device=None, dim: int = 128,
+              batch_size: int = 8, batches_per_epoch: int = 6,
+              lr: float = 1e-3, max_decode_steps: int = 0
+              ) -> "GraphWriterWorkload":
+        model = GraphWriter(dataset.vocab_size, dataset.num_entity_types,
+                            dim=dim)
+        if device is not None:
+            model.to(device)
+        return cls(model=model, dataset=dataset,
+                   optimizer=Adam(model.parameters(), lr=lr),
+                   batch_size=batch_size, batches_per_epoch=batches_per_epoch,
+                   device=device, max_decode_steps=max_decode_steps)
+
+    def _loss_on_batch(self, samples: list[KGTextSample]) -> Tensor:
+        batch = pad_batch(samples)
+        model = self.model
+        if self.device is not None:
+            for key in ("entities", "titles", "abstracts", "adjacency", "valid"):
+                self.device.h2d(batch[key], f"gw.{key}")
+            from ..tensor.ops.base import launch_elementwise
+
+            launch_elementwise(self.device, "ew_build_attn_mask",
+                               int(batch["adjacency"].size), 1, kind="compare")
+
+        ent = Tensor(batch["entities"], device=self.device, _skip_copy=True)
+        typ = Tensor(batch["types"], device=self.device, _skip_copy=True)
+        entity_states = model.encode_entities(ent, typ, batch["adj_mask"])
+        context = model.encode_title(batch["titles"], device=self.device)
+
+        abstracts = batch["abstracts"]
+        if self.max_decode_steps:
+            abstracts = abstracts[:, : self.max_decode_steps]
+        b, steps = abstracts.shape
+        state = None
+        attended = context
+        emb_all = model.token_embedding(abstracts)  # (b, steps, dim)
+        bos = Tensor(np.zeros((b, model.dim), np.float32), device=self.device,
+                     _skip_copy=True)
+        prev = bos
+        step_states = []
+        for t in range(steps):
+            out_state, (state, attended) = model.decode_step(
+                prev, attended, state, entity_states, batch["entity_mask"]
+            )
+            step_states.append(out_state)
+            prev = emb_all[:, t]
+        # one (b*steps, 2d) @ (2d, vocab) projection + one fused loss
+        all_states = F.cat(step_states, axis=0)
+        logits = model.project_vocab(all_states)
+        targets = abstracts.T.reshape(-1)  # step-major to match the cat
+        valid = np.nonzero(targets != PAD)[0]
+        return F.cross_entropy(F.index_select(logits, valid), targets[valid])
+
+    def evaluate(self, indices: np.ndarray | None = None,
+                 max_batches: int = 2) -> float:
+        """Teacher-forced validation loss under no_grad (inference mode)."""
+        from ..tensor import no_grad
+
+        ds = self.dataset
+        if indices is None:
+            indices = ds.val_idx
+        losses = []
+        with no_grad():
+            for b, start in enumerate(range(0, indices.size, self.batch_size)):
+                if b >= max_batches:
+                    break
+                samples = [ds.samples[i]
+                           for i in indices[start : start + self.batch_size]]
+                losses.append(self._loss_on_batch(samples).item())
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def train_epoch(self, rng: np.random.Generator) -> dict[str, float]:
+        ds = self.dataset
+        order = rng.permutation(ds.train_idx)
+        total, count = 0.0, 0
+        for start in range(0, order.size, self.batch_size):
+            if count >= self.batches_per_epoch:
+                break
+            idx = order[start : start + self.batch_size]
+            samples = [ds.samples[i] for i in idx]
+            self.optimizer.zero_grad()
+            loss = self._loss_on_batch(samples)
+            loss.backward()
+            self.optimizer.step()
+            total += loss.item()
+            count += 1
+        return {"loss": total / max(count, 1)}

@@ -1,0 +1,206 @@
+"""Graph neural-network layers shared by the workload models.
+
+Two message-passing styles are implemented, matching the two frameworks the
+paper draws workloads from:
+
+* **DGL style** — fused SpMM over a cached CSR adjacency
+  (:class:`GCNConv`, :class:`ChebGraphConv`);
+* **PyG style** — explicit gather (edge messages) + scatter (aggregation)
+  (:func:`gather_scatter`, :class:`GINConv`, :class:`GENConv`,
+  :class:`SAGEConv`), which is where the paper's Scatter/Gather kernel
+  shares come from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph import Graph, SampledBlock
+from ..tensor import SparseTensor, Tensor, functional as F, nn
+
+
+def gather_scatter(
+    x: Tensor,
+    edge_src: np.ndarray,
+    edge_dst: np.ndarray,
+    num_dst: int,
+    reduce: str = "sum",
+    edge_weight: Optional[np.ndarray] = None,
+) -> Tensor:
+    """PyG-style message passing: gather source rows, scatter to dest."""
+    messages = F.index_select(x, edge_src)
+    if edge_weight is not None:
+        w = Tensor(edge_weight.reshape(-1, *([1] * (x.ndim - 1))),
+                   device=x.device, _skip_copy=True)
+        messages = messages * w
+    if reduce == "sum":
+        return F.scatter_add(messages, edge_dst, num_dst)
+    if reduce == "mean":
+        return F.segment_mean(messages, edge_dst, num_dst)
+    if reduce == "max":
+        return F.segment_max(messages, edge_dst, num_dst)
+    raise ValueError(f"unknown reduce {reduce!r}")
+
+
+class GCNConv(nn.Module):
+    """Kipf-Welling graph convolution: ``sym_adj @ (X W)``.
+
+    With ``dynamic_norm=True`` the layer recomputes the symmetric GCN
+    normalization on every call — PyG's ``GCNConv(cached=False)`` default,
+    which ARGA uses — emitting the degree scatter-add and edge-weight
+    elementwise kernels over the graph's real index arrays each forward.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 dynamic_norm: bool = False) -> None:
+        super().__init__()
+        self.linear = nn.Linear(in_features, out_features, bias=bias)
+        self.dynamic_norm = dynamic_norm
+
+    def forward(self, adj: SparseTensor, x: Tensor) -> Tensor:
+        if self.dynamic_norm and x.device is not None:
+            self._emit_gcn_norm(adj, x.device)
+        return F.spmm(adj, self.linear(x))
+
+    @staticmethod
+    def _emit_gcn_norm(adj: SparseTensor, device) -> None:
+        from ..tensor.ops.base import launch_elementwise
+        from ..tensor.ops.scattergather import launch_gather, launch_scatter
+
+        cols = adj.indices
+        launch_scatter(device, "gcn_norm_degree_scatter", cols, 1)
+        launch_elementwise(device, "ew_rsqrt_degree", adj.shape[0], 1,
+                           kind="unary", flops_per_elem=2.0)
+        launch_gather(device, "gcn_norm_gather_deg", cols, 1)
+        launch_elementwise(device, "ew_edge_norm_mul", adj.nnz, 3)
+
+
+class ChebGraphConv(nn.Module):
+    """Chebyshev graph convolution of order K (the STGCN spatial layer)."""
+
+    def __init__(self, in_features: int, out_features: int, k: int = 3) -> None:
+        super().__init__()
+        self.k = k
+        self.linears = nn.ModuleList(
+            [nn.Linear(in_features, out_features, bias=(i == 0)) for i in range(k)]
+        )
+
+    def forward(self, laplacian: SparseTensor, x: Tensor) -> Tensor:
+        """x: (num_nodes, features...) with node axis first."""
+        t_prev_prev = x
+        out = self.linears[0](x)
+        if self.k == 1:
+            return out
+        t_prev = F.spmm(laplacian, x)
+        out = out + self.linears[1](t_prev)
+        for i in range(2, self.k):
+            t_cur = F.spmm(laplacian, t_prev) * 2.0 - t_prev_prev
+            out = out + self.linears[i](t_cur)
+            t_prev_prev, t_prev = t_prev, t_cur
+        return out
+
+
+class SAGEConv(nn.Module):
+    """GraphSAGE convolution over a sampled block (PinSAGE's base layer).
+
+    Aggregates (optionally importance-weighted) neighbor features, then
+    combines with the destination node's own features.
+    """
+
+    def __init__(self, in_features: int, out_features: int) -> None:
+        super().__init__()
+        self.neighbor = nn.Linear(in_features, out_features)
+        self.self_loop = nn.Linear(in_features, out_features)
+
+    def forward(self, block: SampledBlock, x_src: Tensor) -> Tensor:
+        agg = gather_scatter(
+            x_src, block.edge_src, block.edge_dst, block.num_dst,
+            reduce="sum" if block.edge_weight is not None else "mean",
+            edge_weight=block.edge_weight,
+        )
+        x_dst = F.index_select(x_src, np.arange(block.num_dst))
+        out = self.neighbor(agg) + self.self_loop(x_dst)
+        # L2 normalization, as in PinSAGE
+        norm = F.sqrt(F.sum(out * out, axis=-1, keepdims=True) + 1e-6)
+        return out / norm
+
+
+class GINConv(nn.Module):
+    """Graph Isomorphism Network layer (the k-GNN building block)."""
+
+    def __init__(self, in_features: int, out_features: int) -> None:
+        super().__init__()
+        self.eps = nn.Parameter(np.zeros(1, dtype=np.float32))
+        self.mlp = nn.Sequential(
+            nn.Linear(in_features, out_features),
+            nn.ReLU(),
+            nn.Linear(out_features, out_features),
+        )
+
+    def forward(self, x: Tensor, edge_src: np.ndarray, edge_dst: np.ndarray
+                ) -> Tensor:
+        agg = gather_scatter(x, edge_src, edge_dst, x.shape[0], reduce="sum")
+        one = Tensor(np.float32(1.0), device=x.device, _skip_copy=True)
+        return self.mlp(agg + (one + self.eps) * x)
+
+
+class GENConv(nn.Module):
+    """Generalized aggregation conv from the DeepGCN line of work.
+
+    Softmax-weighted neighbor aggregation with a learnable temperature, plus
+    message normalization — elementwise-heavy by construction, which is why
+    DGCN's Figure-2 profile is dominated by elementwise kernels.
+    """
+
+    def __init__(self, features: int) -> None:
+        super().__init__()
+        self.beta = nn.Parameter(np.ones(1, dtype=np.float32))
+        self.mlp = nn.Sequential(
+            nn.Linear(features, features * 2),
+            nn.ReLU(),
+            nn.Linear(features * 2, features),
+        )
+
+    def forward(self, x: Tensor, edge_src: np.ndarray, edge_dst: np.ndarray
+                ) -> Tensor:
+        messages = F.relu(F.index_select(x, edge_src)) + 1e-7
+        # softmax over incoming edges of each node, temperature beta
+        scaled = messages * self.beta
+        seg_max = F.segment_max(scaled, edge_dst, x.shape[0])
+        shifted = scaled - F.index_select(seg_max, edge_dst)
+        exp = F.exp(shifted)
+        denom = F.scatter_add(exp, edge_dst, x.shape[0])
+        weights = exp / (F.index_select(denom, edge_dst) + 1e-16)
+        agg = F.scatter_add(messages * weights, edge_dst, x.shape[0])
+        return self.mlp(x + agg)
+
+
+class InnerProductDecoder(nn.Module):
+    """Graph autoencoder decoder: logits = Z @ Z^T (ARGA)."""
+
+    def __init__(self, dropout: float = 0.0) -> None:
+        super().__init__()
+        self.dropout = nn.Dropout(dropout)
+
+    def forward(self, z: Tensor) -> Tensor:
+        z = self.dropout(z)
+        return F.matmul(z, z.T)
+
+
+class MLPReadout(nn.Module):
+    """Graph-level readout: segment-mean pooling + MLP head."""
+
+    def __init__(self, in_features: int, num_classes: int) -> None:
+        super().__init__()
+        self.head = nn.Sequential(
+            nn.Linear(in_features, in_features),
+            nn.ReLU(),
+            nn.Linear(in_features, num_classes),
+        )
+
+    def forward(self, node_states: Tensor, graph_ids: np.ndarray,
+                num_graphs: int) -> Tensor:
+        pooled = F.segment_mean(node_states, graph_ids, num_graphs)
+        return self.head(pooled)

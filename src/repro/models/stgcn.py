@@ -1,0 +1,170 @@
+"""STGCN: Spatio-Temporal Graph Convolutional Network (Yu et al.) for
+traffic forecasting on METR-LA-style sensor data.
+
+Two ST-Conv blocks, each sandwiching a Chebyshev graph convolution between
+gated (GLU) temporal Conv2d layers, followed by an output temporal layer —
+the 2-D convolutions over the time axis are why STGCN's Figure-2 profile is
+~60% convolution, unique in the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..datasets.traffic import TrafficDataset
+from ..tensor import SparseTensor, Tensor, functional as F, nn
+from ..tensor.optim import Adam
+from .layers import ChebGraphConv
+
+
+def scaled_laplacian(dataset_graph) -> SparseTensor:
+    """2L/lambda_max - I, the Chebyshev-ready rescaled graph Laplacian."""
+    adj = dataset_graph.adjacency("sym").scipy()
+    n = adj.shape[0]
+    lap = sp.eye(n, format="csr", dtype=np.float32) - adj
+    try:
+        lmax = float(
+            sp.linalg.eigsh(lap, k=1, which="LM", return_eigenvectors=False)[0]
+        )
+    except Exception:  # eigensolver can fail on tiny graphs; 2.0 is the bound
+        lmax = 2.0
+    scaled = (2.0 / max(lmax, 1e-6)) * lap - sp.eye(n, format="csr",
+                                                    dtype=np.float32)
+    return SparseTensor(scaled.tocsr())
+
+
+class TemporalGatedConv(nn.Module):
+    """Conv2d over the time axis with a GLU gate: (P, Q) -> P * sigmoid(Q)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kt: int = 3) -> None:
+        super().__init__()
+        self.conv = nn.Conv2d(in_channels, 2 * out_channels, (kt, 1))
+        self.out_channels = out_channels
+        self.kt = kt
+
+    def forward(self, x: Tensor) -> Tensor:
+        """x: (batch, channels, time, nodes) -> time shrinks by kt - 1."""
+        pq = self.conv(x)
+        p = pq[:, : self.out_channels]
+        q = pq[:, self.out_channels :]
+        return p * F.sigmoid(q)
+
+
+class STConvBlock(nn.Module):
+    """Temporal conv -> Chebyshev graph conv -> temporal conv -> LayerNorm.
+
+    Channel structure follows the original STGCN: a wide temporal channel
+    count (64) bottlenecked to a narrow spatial width (16) around the graph
+    convolution — which is why temporal Conv2d dominates the model's time.
+    """
+
+    def __init__(self, in_channels: int, temporal_channels: int,
+                 spatial_channels: int, out_channels: int, num_nodes: int,
+                 kt: int = 3, k_cheb: int = 3) -> None:
+        super().__init__()
+        self.t1 = TemporalGatedConv(in_channels, temporal_channels, kt)
+        self.bottleneck = nn.Linear(temporal_channels, spatial_channels)
+        self.spatial = ChebGraphConv(spatial_channels, spatial_channels, k_cheb)
+        self.expand = nn.Linear(spatial_channels, temporal_channels)
+        self.t2 = TemporalGatedConv(temporal_channels, out_channels, kt)
+        self.norm = nn.LayerNorm(out_channels)
+
+    def forward(self, x: Tensor, laplacian: SparseTensor) -> Tensor:
+        h = self.t1(x)
+        batch, channels, time, nodes = h.shape
+        # node axis first so one SpMM covers every (batch, time) slice
+        h_nodes = h.permute(3, 0, 2, 1).reshape(nodes, batch * time, channels)
+        h_narrow = self.bottleneck(h_nodes)
+        h_spatial = F.relu(self.spatial(laplacian, h_narrow))
+        h_wide = self.expand(h_spatial)
+        h = h_wide.reshape(nodes, batch, time, channels).permute(1, 3, 2, 0)
+        h = self.t2(h)
+        # LayerNorm over channels: move channels last
+        h = h.permute(0, 2, 3, 1)
+        h = self.norm(h)
+        return h.permute(0, 3, 1, 2)
+
+
+class STGCN(nn.Module):
+    def __init__(self, num_nodes: int, history: int, in_channels: int = 1,
+                 channels: tuple[int, int, int] = (64, 16, 64)) -> None:
+        super().__init__()
+        c1, cs, c2 = channels
+        self.block1 = STConvBlock(in_channels, c1, cs, c1, num_nodes)
+        self.block2 = STConvBlock(c1, c1, cs, c2, num_nodes)
+        remaining = history - 4 * 2  # two kt=3 convs per block
+        if remaining < 1:
+            raise ValueError("history too short for two ST-Conv blocks")
+        self.final_temporal = TemporalGatedConv(c2, c2, kt=remaining)
+        self.head = nn.Linear(c2, 1)
+
+    def forward(self, x: Tensor, laplacian: SparseTensor) -> Tensor:
+        """x: (batch, history, nodes, channels) -> (batch, nodes) prediction."""
+        h = x.permute(0, 3, 1, 2)  # (batch, channels, time, nodes)
+        h = self.block1(h, laplacian)
+        h = self.block2(h, laplacian)
+        h = self.final_temporal(h)  # time -> 1
+        h = h.permute(0, 2, 3, 1)   # (batch, 1, nodes, channels)
+        batch, _, nodes, channels = h.shape
+        out = self.head(h.reshape(batch * nodes, channels))
+        return out.reshape(batch, nodes)
+
+
+@dataclass
+class STGCNWorkload:
+    model: STGCN
+    dataset: TrafficDataset
+    laplacian: SparseTensor
+    optimizer: Adam
+    batch_size: int = 16
+    batches_per_epoch: int = 8
+    device: object = None
+
+    @classmethod
+    def build(cls, dataset: TrafficDataset, device=None, batch_size: int = 16,
+              batches_per_epoch: int = 8, lr: float = 1e-3) -> "STGCNWorkload":
+        model = STGCN(dataset.graph.num_nodes, dataset.history)
+        if device is not None:
+            model.to(device)
+        lap = scaled_laplacian(dataset.graph)
+        if device is not None:
+            lap = lap.to(device)
+        return cls(model=model, dataset=dataset, laplacian=lap,
+                   optimizer=Adam(model.parameters(), lr=lr),
+                   batch_size=batch_size, batches_per_epoch=batches_per_epoch,
+                   device=device)
+
+    def train_epoch(self, rng: np.random.Generator) -> dict[str, float]:
+        signal = self.dataset.temporal()
+        total, count = 0.0, 0
+        for b, (xs, ys) in enumerate(signal.batches(self.batch_size, rng)):
+            if b >= self.batches_per_epoch:
+                break
+            x = Tensor(xs).to(self.device, "stgcn.window")
+            target = ys[:, :, 0]
+            if self.device is not None:
+                self.device.h2d(target, "stgcn.target")
+            self.optimizer.zero_grad()
+            pred = self.model(x, self.laplacian)
+            loss = F.mse_loss(pred, target)
+            loss.backward()
+            self.optimizer.step()
+            total += loss.item()
+            count += 1
+        return {"loss": total / max(count, 1)}
+
+    def evaluate_mae(self, num_batches: int = 4) -> float:
+        from ..tensor import no_grad
+
+        signal = self.dataset.temporal()
+        errors = []
+        with no_grad():
+            for b, (xs, ys) in enumerate(signal.batches(self.batch_size)):
+                if b >= num_batches:
+                    break
+                pred = self.model(Tensor(xs).to(self.device), self.laplacian)
+                errors.append(np.abs(pred.data - ys[:, :, 0]).mean())
+        return float(np.mean(errors)) if errors else float("nan")

@@ -1,0 +1,20 @@
+"""Profiling toolchain: nvprof-style kernel metrics, NVBit-style divergence
+instrumentation, transfer-sparsity tracking, and report rendering."""
+
+from .nvbit import DivergenceInstrument, DivergenceRecord
+from .nvprof import METRIC_SAMPLE_LIMIT, KernelProfiler, KernelStats
+from .report import format_scaling, format_series, format_table
+from .sparsity import SparsityTracker, TransferSample
+
+__all__ = [
+    "DivergenceInstrument",
+    "DivergenceRecord",
+    "KernelProfiler",
+    "KernelStats",
+    "METRIC_SAMPLE_LIMIT",
+    "SparsityTracker",
+    "TransferSample",
+    "format_scaling",
+    "format_series",
+    "format_table",
+]

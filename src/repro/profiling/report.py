@@ -1,0 +1,92 @@
+"""Rendering helpers for the benchmark harness: aligned text tables that
+print the same rows/series the paper's figures report."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    title: str = "",
+    percent: bool = False,
+    width: int = 12,
+    mean_row: bool = True,
+) -> str:
+    """Render {row -> {column -> value}} as an aligned table."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = "".join(f"{c:>{width}}" for c in columns)
+    lines.append(f"{'workload':<14}{header}")
+    lines.append("-" * (14 + width * len(columns)))
+
+    def fmt(value: Optional[float]) -> str:
+        if value is None:
+            return f"{'-':>{width}}"
+        if percent:
+            return f"{value * 100:>{width - 1}.1f}%"
+        return f"{value:>{width}.2f}"
+
+    for name, row in rows.items():
+        cells = "".join(fmt(row.get(c)) for c in columns)
+        lines.append(f"{name:<14}{cells}")
+    if mean_row and rows:
+        lines.append("-" * (14 + width * len(columns)))
+        cells = []
+        for c in columns:
+            values = [row[c] for row in rows.values() if c in row and row[c] is not None]
+            cells.append(fmt(float(np.mean(values)) if values else None))
+        lines.append(f"{'mean':<14}{''.join(cells)}")
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Iterable[float]],
+    title: str = "",
+    points: int = 24,
+    percent: bool = True,
+) -> str:
+    """Render named numeric series (Figure-8 style timelines) as sparklines."""
+    blocks = " .:-=+*#%@"
+    lines = [title] if title else []
+    for name, values in series.items():
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            lines.append(f"{name:<14}(no data)")
+            continue
+        if arr.size > points:
+            edges = np.linspace(0, arr.size, points + 1).astype(int)
+            arr = np.array([arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+        lo, hi = float(arr.min()), float(arr.max())
+        span = (hi - lo) or 1.0
+        chars = "".join(
+            blocks[int((v - lo) / span * (len(blocks) - 1))] for v in arr
+        )
+        scale = (f"[{lo * 100:.0f}%..{hi * 100:.0f}%]" if percent
+                 else f"[{lo:.3g}..{hi:.3g}]")
+        lines.append(f"{name:<14}{chars}  {scale}")
+    return "\n".join(lines)
+
+
+def format_scaling(
+    times: Mapping[str, Mapping[int, float]],
+    title: str = "Strong scaling (speedup over 1 GPU)",
+) -> str:
+    """Render per-workload time-per-epoch as speedups over the 1-GPU run."""
+    gpu_counts = sorted({n for row in times.values() for n in row})
+    lines = [title, f"{'workload':<14}" + "".join(f"{n} GPU{'s' if n > 1 else '':>2}".rjust(10) for n in gpu_counts)]
+    lines.append("-" * (14 + 10 * len(gpu_counts)))
+    for name, row in times.items():
+        base = row.get(1)
+        cells = []
+        for n in gpu_counts:
+            if n in row and base:
+                cells.append(f"{base / row[n]:>9.2f}x")
+            else:
+                cells.append(f"{'-':>10}")
+        lines.append(f"{name:<14}{''.join(cells)}")
+    return "\n".join(lines)

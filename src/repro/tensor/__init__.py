@@ -1,0 +1,32 @@
+"""A numpy-backed deep-learning framework that emits simulated GPU kernels.
+
+This package is the reproduction's PyTorch substitute: tensors with
+reverse-mode autograd, an ``nn`` module zoo, optimizers, and a functional
+API.  Every operation executed on a tensor whose ``device`` is a
+:class:`~repro.gpu.SimulatedGPU` emits kernel launches carrying real
+instruction/byte counts and index streams, which is what the profiling layer
+characterizes.
+"""
+
+from . import functional
+from .autograd import Function, current_phase, is_grad_enabled, no_grad, phase
+from .ops.spmm import SparseTensor
+from .random import manual_seed
+from .tensor import Tensor, arange, full, ones, tensor, zeros
+
+__all__ = [
+    "Function",
+    "SparseTensor",
+    "Tensor",
+    "arange",
+    "current_phase",
+    "full",
+    "functional",
+    "is_grad_enabled",
+    "manual_seed",
+    "no_grad",
+    "ones",
+    "phase",
+    "tensor",
+    "zeros",
+]

@@ -1,0 +1,263 @@
+"""Functional API over the op library (the ``torch.nn.functional`` analogue).
+
+Non-tensor operands (targets, index arrays, boolean masks) are coerced to
+raw numpy before reaching a Function so the autograd tape only tracks the
+differentiable inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import random as _random
+from .ops import conv as _conv
+from .ops import elementwise as _ew
+from .ops import gemm as _gemm
+from .ops import loss as _loss
+from .ops import norm as _norm
+from .ops import reduction as _red
+from .ops import scattergather as _sg
+from .ops import shape as _shape
+from .ops import softmax as _sm
+from .ops import sort as _sort
+from .ops import spmm as _spmm
+from .tensor import Tensor
+
+SparseTensor = _spmm.SparseTensor
+
+
+def _raw(x) -> np.ndarray:
+    """Detach to a plain ndarray (indices/targets/masks are not tracked)."""
+    return x.data if isinstance(x, Tensor) else np.asarray(x)
+
+
+# -- elementwise ---------------------------------------------------------------
+def add(a: Tensor, b: Tensor) -> Tensor:
+    return _ew.Add.apply(a, b)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    return _ew.Sub.apply(a, b)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    return _ew.Mul.apply(a, b)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    return _ew.Div.apply(a, b)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    return _ew.Maximum.apply(a, b)
+
+
+def neg(a: Tensor) -> Tensor:
+    return _ew.Neg.apply(a)
+
+
+def pow(a: Tensor, exponent: float) -> Tensor:
+    return _ew.PowScalar.apply(a, exponent)
+
+
+def exp(a: Tensor) -> Tensor:
+    return _ew.Exp.apply(a)
+
+
+def log(a: Tensor) -> Tensor:
+    return _ew.Log.apply(a)
+
+
+def sqrt(a: Tensor) -> Tensor:
+    return _ew.Sqrt.apply(a)
+
+
+def tanh(a: Tensor) -> Tensor:
+    return _ew.Tanh.apply(a)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    return _ew.Sigmoid.apply(a)
+
+
+def relu(a: Tensor) -> Tensor:
+    return _ew.ReLU.apply(a)
+
+
+def leaky_relu(a: Tensor, negative_slope: float = 0.01) -> Tensor:
+    return _ew.LeakyReLU.apply(a, negative_slope)
+
+
+def prelu(a: Tensor, slope: Tensor) -> Tensor:
+    return _ew.PReLU.apply(a, slope)
+
+
+def abs(a: Tensor) -> Tensor:
+    return _ew.Abs.apply(a)
+
+
+def clamp(a: Tensor, lo: Optional[float] = None, hi: Optional[float] = None) -> Tensor:
+    return _ew.Clamp.apply(a, lo, hi)
+
+
+def dropout(a: Tensor, p: float = 0.5, training: bool = True) -> Tensor:
+    if not training or p <= 0.0:
+        return a
+    return _ew.Dropout.apply(a, p, _random.generator())
+
+
+def where(cond, a: Tensor, b: Tensor) -> Tensor:
+    return _ew.Where.apply(a, b, _raw(cond))
+
+
+# -- dense math -----------------------------------------------------------------
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    return _gemm.MatMul.apply(a, b)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    if bias is None:
+        return _gemm.Linear.apply(x, weight)
+    return _gemm.Linear.apply(x, weight, bias)
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride=(1, 1), padding=(0, 0)) -> Tensor:
+    if isinstance(stride, int):
+        stride = (stride, stride)
+    if isinstance(padding, int):
+        padding = (padding, padding)
+    if bias is None:
+        return _conv.Conv2d.apply(x, weight, stride=stride, padding=padding)
+    return _conv.Conv2d.apply(x, weight, bias, stride=stride, padding=padding)
+
+
+def spmm(sparse: SparseTensor, x: Tensor) -> Tensor:
+    return _spmm.SpMM.apply(sparse, x)
+
+
+# -- reductions -------------------------------------------------------------------
+def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    return _red.Sum.apply(a, axis, keepdims)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    return _red.Mean.apply(a, axis, keepdims)
+
+
+def max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    return _red.Max.apply(a, axis, keepdims)
+
+
+def min(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    return _red.Min.apply(a, axis, keepdims)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    return _sm.Softmax.apply(a, axis)
+
+
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    return _sm.LogSoftmax.apply(a, axis)
+
+
+# -- irregular data movement --------------------------------------------------------
+def index_select(a: Tensor, index) -> Tensor:
+    return _sg.IndexSelect.apply(a, _raw(index))
+
+
+def gather(a: Tensor, index, axis: int) -> Tensor:
+    return _sg.Gather.apply(a, _raw(index), axis)
+
+
+def scatter_add(src: Tensor, index, num_segments: int) -> Tensor:
+    """Aggregate edge/source rows into segments: out[index[i]] += src[i]."""
+    return _sg.ScatterAddRows.apply(src, _raw(index), num_segments)
+
+
+def segment_max(src: Tensor, index, num_segments: int) -> Tensor:
+    return _sg.SegmentMax.apply(src, _raw(index), num_segments)
+
+
+def segment_mean(src: Tensor, index, num_segments: int) -> Tensor:
+    idx = _raw(index).astype(np.int64).reshape(-1)
+    sums = scatter_add(src, idx, num_segments)
+    counts = np.bincount(idx, minlength=num_segments).astype(np.float32)
+    counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (src.ndim - 1))
+    return div(sums, Tensor(counts, device=src.device, _skip_copy=True))
+
+
+def embedding(weight: Tensor, index) -> Tensor:
+    return _sg.Embedding.apply(weight, _raw(index))
+
+
+# -- shape ---------------------------------------------------------------------------
+def cat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    return _shape.Concat.apply(*tensors, axis=axis)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    return _shape.Stack.apply(*tensors, axis=axis)
+
+
+def pad2d(a: Tensor, pad: tuple[int, int, int, int]) -> Tensor:
+    return _shape.Pad2d.apply(a, pad)
+
+
+# -- sorting family (non-differentiable, return raw arrays) ---------------------------
+def sort(a, axis: int = -1):
+    return _sort.sort(a, axis=axis)
+
+
+def argsort(a, axis: int = -1) -> np.ndarray:
+    return _sort.argsort(a, axis=axis)
+
+
+def unique(a, return_inverse: bool = False, return_counts: bool = False):
+    return _sort.unique(a, return_inverse=return_inverse,
+                        return_counts=return_counts)
+
+
+def topk(a, k: int, axis: int = -1, largest: bool = True):
+    return _sort.topk(a, k, axis=axis, largest=largest)
+
+
+def randperm(n: int, device=None) -> np.ndarray:
+    return _sort.randperm(n, _random.generator(), device=device)
+
+
+# -- normalization ----------------------------------------------------------------------
+def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor, channel_axis: int = 1,
+               eps: float = 1e-5) -> Tensor:
+    return _norm.BatchNorm.apply(x, gamma, beta, channel_axis, eps)
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    return _norm.LayerNorm.apply(x, gamma, beta, eps)
+
+
+# -- losses ---------------------------------------------------------------------------------
+def cross_entropy(logits: Tensor, target) -> Tensor:
+    return _loss.CrossEntropy.apply(logits, _raw(target))
+
+
+def nll_loss(logp: Tensor, target) -> Tensor:
+    return _loss.NLLLoss.apply(logp, _raw(target))
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, target,
+                                     pos_weight: float = 1.0) -> Tensor:
+    return _loss.BCEWithLogits.apply(logits, _raw(target), pos_weight)
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    return _loss.MSELoss.apply(pred, _raw(target))
+
+
+def margin_ranking_loss(pos: Tensor, neg: Tensor, margin: float = 1.0) -> Tensor:
+    """Max-margin loss used by PinSAGE: mean(relu(neg - pos + margin))."""
+    diff = add(sub(neg, pos), Tensor(np.float32(margin), device=pos.device,
+                                     _skip_copy=True))
+    return mean(relu(diff))

@@ -1,0 +1,46 @@
+"""Neural-network building blocks (the ``torch.nn`` analogue)."""
+
+from .attention import MultiheadAttention
+from .containers import ModuleDict, ModuleList, Sequential
+from .layers import (
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    PReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .module import Module, Parameter
+from .rnn import ChildSumTreeLSTMCell, GRUCell, LSTMCell
+from . import init
+
+__all__ = [
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ChildSumTreeLSTMCell",
+    "Conv2d",
+    "Dropout",
+    "Embedding",
+    "GRUCell",
+    "LSTMCell",
+    "LayerNorm",
+    "LeakyReLU",
+    "Linear",
+    "Module",
+    "ModuleDict",
+    "ModuleList",
+    "MultiheadAttention",
+    "PReLU",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "init",
+]

@@ -1,0 +1,65 @@
+"""Multi-head attention, the core of the GraphWriter transformer encoder."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..tensor import Tensor
+from .layers import Dropout, Linear
+from .module import Module
+
+
+class MultiheadAttention(Module):
+    """Scaled dot-product attention over (batch, seq, dim) inputs.
+
+    An optional additive mask (raw ndarray broadcastable to the attention
+    logits) supports both padding masks and graph-structure masks — the
+    GraphWriter encoder attends only along knowledge-graph edges.
+    """
+
+    def __init__(self, embed_dim: int, num_heads: int, dropout: float = 0.0) -> None:
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.q_proj = Linear(embed_dim, embed_dim)
+        self.k_proj = Linear(embed_dim, embed_dim)
+        self.v_proj = Linear(embed_dim, embed_dim)
+        self.out_proj = Linear(embed_dim, embed_dim)
+        self.dropout = Dropout(dropout)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).permute(0, 2, 1, 3)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor,
+        value: Tensor,
+        attn_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        batch, q_len, _ = query.shape
+        k_len = key.shape[1]
+        q = self._split_heads(self.q_proj(query), batch, q_len)
+        k = self._split_heads(self.k_proj(key), batch, k_len)
+        v = self._split_heads(self.v_proj(value), batch, k_len)
+
+        scale = 1.0 / math.sqrt(self.head_dim)
+        scores = F.matmul(q, k.permute(0, 1, 3, 2)) * scale
+        if attn_mask is not None:
+            mask = Tensor(
+                np.broadcast_to(attn_mask, scores.shape).astype(np.float32),
+                device=scores.device,
+                _skip_copy=True,
+            )
+            scores = scores + mask
+        attn = self.dropout(F.softmax(scores, axis=-1))
+        out = F.matmul(attn, v)
+        out = out.permute(0, 2, 1, 3).reshape(batch, q_len, self.embed_dim)
+        return self.out_proj(out)

@@ -1,0 +1,52 @@
+"""Weight initialization schemes (Glorot/Kaiming/uniform), seeded via the
+framework generator so models are reproducible."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .. import random as _random
+
+
+def xavier_uniform(shape: tuple[int, ...], gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return _random.generator().uniform(-bound, bound, shape).astype(np.float32)
+
+
+def xavier_normal(shape: tuple[int, ...], gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return (_random.generator().normal(0.0, std, shape)).astype(np.float32)
+
+
+def kaiming_uniform(shape: tuple[int, ...], a: float = math.sqrt(5.0)) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return _random.generator().uniform(-bound, bound, shape).astype(np.float32)
+
+
+def uniform(shape: tuple[int, ...], bound: float) -> np.ndarray:
+    return _random.generator().uniform(-bound, bound, shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = 1
+    for s in shape[2:]:
+        receptive *= s
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out

@@ -1,0 +1,183 @@
+"""Core neural-network layers: Linear, Embedding, Conv2d, norms, dropout,
+activations."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features)),
+                                name="linear.weight")
+        self.bias = (
+            Parameter(init.uniform((out_features,), 1.0 / math.sqrt(in_features)),
+                      name="linear.bias")
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Embedding(Module):
+    """Trainable lookup table."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            init.xavier_normal((num_embeddings, embedding_dim)),
+            name="embedding.weight",
+        )
+
+    def forward(self, index) -> Tensor:
+        return F.embedding(self.weight, index)
+
+
+class Conv2d(Module):
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.stride = (stride, stride) if isinstance(stride, int) else stride
+        self.padding = (padding, padding) if isinstance(padding, int) else padding
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels) + tuple(kernel_size)),
+            name="conv.weight",
+        )
+        fan_in = in_channels * kernel_size[0] * kernel_size[1]
+        self.bias = (
+            Parameter(init.uniform((out_channels,), 1.0 / math.sqrt(fan_in)),
+                      name="conv.bias")
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding)
+
+
+class _BatchNorm(Module):
+    CHANNEL_AXIS = 1
+
+    def __init__(self, num_features: int, eps: float = 1e-5,
+                 momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)), name="bn.weight")
+        self.bias = Parameter(init.zeros((num_features,)), name="bn.bias")
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            out = F.batch_norm(x, self.weight, self.bias,
+                               channel_axis=self.CHANNEL_AXIS, eps=self.eps)
+            axes = tuple(i for i in range(x.ndim) if i != self.CHANNEL_AXIS)
+            m = self.momentum
+            self.running_mean = (1 - m) * self.running_mean + m * x.data.mean(axis=axes)
+            self.running_var = (1 - m) * self.running_var + m * x.data.var(axis=axes)
+            return out
+        shape = [1] * x.ndim
+        shape[self.CHANNEL_AXIS] = self.num_features
+        mean = Tensor(self.running_mean.reshape(shape), device=x.device,
+                      _skip_copy=True)
+        std = Tensor(np.sqrt(self.running_var + self.eps).reshape(shape),
+                     device=x.device, _skip_copy=True)
+        w = self.weight.reshape(tuple(shape))
+        b = self.bias.reshape(tuple(shape))
+        return (x - mean) / std * w + b
+
+
+class BatchNorm1d(_BatchNorm):
+    """BatchNorm over (N, C) or (N, C, L) inputs."""
+
+
+class BatchNorm2d(_BatchNorm):
+    """BatchNorm over (N, C, H, W) inputs."""
+
+
+class LayerNorm(Module):
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(init.ones((normalized_shape,)), name="ln.weight")
+        self.bias = Parameter(init.zeros((normalized_shape,)), name="ln.bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5) -> None:
+        super().__init__()
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class PReLU(Module):
+    """Parametric ReLU (used by ARGA/DeepGCN; drives training sparsity)."""
+
+    def __init__(self, init_slope: float = 0.25) -> None:
+        super().__init__()
+        self.slope = Parameter(np.full((1,), init_slope, dtype=np.float32),
+                               name="prelu.slope")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.prelu(x, self.slope)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)

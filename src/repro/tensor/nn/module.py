@@ -1,0 +1,108 @@
+"""Module/Parameter base classes (the ``torch.nn.Module`` analogue)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor; modules register these automatically."""
+
+    def __init__(self, data, device=None, name: str = "") -> None:
+        super().__init__(data, device=device, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with parameter registration, modes, and device movement."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[key] = value
+        elif isinstance(value, Module):
+            self._modules[key] = value
+        object.__setattr__(self, key, value)
+
+    # -- traversal --------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    # -- state ------------------------------------------------------------
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def parameter_bytes(self) -> int:
+        return sum(p.nbytes for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"missing parameters in state dict: {sorted(missing)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{value.shape} vs {param.data.shape}"
+                )
+            param.data = value.copy()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # -- modes/devices -------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def to(self, device) -> "Module":
+        """Move all parameters (simulated H2D copies for each tensor)."""
+        for p in self.parameters():
+            if device is not None and p.device is not device:
+                device.h2d(p.data, "param")
+            p.device = device
+        for module in self.modules():
+            module._moved_to(device)
+        return self
+
+    def _moved_to(self, device) -> None:
+        """Hook for modules holding non-parameter device state (buffers)."""
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError

@@ -1,0 +1,97 @@
+"""Recurrent cells: LSTMCell, GRUCell, and the Child-Sum TreeLSTM cell.
+
+These are built from Linear + elementwise primitives, so their profiles show
+the small-GEMM + elementwise-gate kernel pattern the paper reports for the
+Tree-LSTM workload (low GFLOPS, many tiny kernels).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import functional as F
+from ..tensor import Tensor, zeros
+from .layers import Linear
+from .module import Module
+
+
+class LSTMCell(Module):
+    def __init__(self, input_size: int, hidden_size: int) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.ih = Linear(input_size, 4 * hidden_size)
+        self.hh = Linear(hidden_size, 4 * hidden_size, bias=False)
+
+    def forward(
+        self, x: Tensor, state: Optional[tuple[Tensor, Tensor]] = None
+    ) -> tuple[Tensor, Tensor]:
+        batch = x.shape[0]
+        if state is None:
+            h = zeros((batch, self.hidden_size), device=x.device)
+            c = zeros((batch, self.hidden_size), device=x.device)
+        else:
+            h, c = state
+        gates = self.ih(x) + self.hh(h)
+        # single fused pointwise kernel, as PyTorch's LSTMCell dispatches
+        from ..ops.elementwise import FusedLSTMPointwise
+
+        hc = FusedLSTMPointwise.apply(gates, c)
+        hs = self.hidden_size
+        return hc[:, :hs], hc[:, hs:]
+
+
+class GRUCell(Module):
+    def __init__(self, input_size: int, hidden_size: int) -> None:
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.ih = Linear(input_size, 3 * hidden_size)
+        self.hh = Linear(hidden_size, 3 * hidden_size)
+
+    def forward(self, x: Tensor, h: Optional[Tensor] = None) -> Tensor:
+        batch = x.shape[0]
+        if h is None:
+            h = zeros((batch, self.hidden_size), device=x.device)
+        gi = self.ih(x)
+        gh = self.hh(h)
+        hs = self.hidden_size
+        r = F.sigmoid(gi[:, :hs] + gh[:, :hs])
+        z = F.sigmoid(gi[:, hs : 2 * hs] + gh[:, hs : 2 * hs])
+        n = F.tanh(gi[:, 2 * hs :] + r * gh[:, 2 * hs :])
+        one = Tensor(np.float32(1.0), device=x.device, _skip_copy=True)
+        return (one - z) * n + z * h
+
+
+class ChildSumTreeLSTMCell(Module):
+    """Child-Sum TreeLSTM (Tai et al.): per-child forget gates.
+
+    ``forward`` processes one batched frontier: node inputs ``x``, summed
+    child hidden states ``h_sum``, and the per-child (h, c) pairs aggregated
+    by the caller via scatter ops.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int) -> None:
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.W_iou = Linear(input_size, 3 * hidden_size)
+        self.U_iou = Linear(hidden_size, 3 * hidden_size, bias=False)
+        self.W_f = Linear(input_size, hidden_size)
+        self.U_f = Linear(hidden_size, hidden_size, bias=False)
+
+    def node_update(self, x: Tensor, h_sum: Tensor, fc_sum: Tensor
+                    ) -> tuple[Tensor, Tensor]:
+        """Compute (h, c) for nodes given aggregated child state."""
+        iou = self.W_iou(x) + self.U_iou(h_sum)
+        hs = self.hidden_size
+        i = F.sigmoid(iou[:, :hs])
+        o = F.sigmoid(iou[:, hs : 2 * hs])
+        u = F.tanh(iou[:, 2 * hs :])
+        c = i * u + fc_sum
+        h = o * F.tanh(c)
+        return h, c
+
+    def child_forget(self, x_parent: Tensor, h_child: Tensor) -> Tensor:
+        """Per-(parent, child) forget gate applied to the child cell state."""
+        return F.sigmoid(self.W_f(x_parent) + self.U_f(h_child))

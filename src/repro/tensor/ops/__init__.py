@@ -1,0 +1,20 @@
+"""Kernel-emitting operator implementations.
+
+Each module covers one operator family; all share the emission helpers and
+instruction-cost calibration in :mod:`.base`.
+"""
+
+from . import (  # noqa: F401
+    base,
+    conv,
+    elementwise,
+    gemm,
+    loss,
+    norm,
+    reduction,
+    scattergather,
+    shape,
+    softmax,
+    sort,
+    spmm,
+)

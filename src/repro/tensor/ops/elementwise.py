@@ -1,0 +1,463 @@
+"""Elementwise operations (unary, binary, dropout, comparisons).
+
+These are the kernels the paper finds dominating workloads like DeepGCN:
+streaming grid-stride loops whose instruction mix is mostly integer index
+arithmetic with one or two fp32 ops per element.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...gpu import OpClass
+from ..autograd import Context, Function
+from . import base
+from .base import launch_elementwise, unbroadcast
+
+
+def _data(x):
+    from .base import as_array
+
+    return as_array(x)
+
+
+class _Binary(Function):
+    """Shared plumbing for broadcasting binary elementwise ops."""
+
+    NAME = "binary"
+
+    @classmethod
+    def _forward(cls, ctx: Context, a, b, out: np.ndarray) -> np.ndarray:
+        ctx.extras["shapes"] = (_data(a).shape, _data(b).shape)
+        launch_elementwise(ctx.device, f"ew_{cls.NAME}", int(out.size), 2)
+        return out
+
+
+class Add(_Binary):
+    NAME = "add"
+
+    @staticmethod
+    def forward(ctx, a, b):
+        return Add._forward(ctx, a, b, _data(a) + _data(b))
+
+    @staticmethod
+    def backward(ctx, grad):
+        sa, sb = ctx.extras["shapes"]
+        launch_elementwise(ctx.device, "ew_add_bwd", int(grad.size), 1, kind="copy")
+        return (
+            unbroadcast(grad, sa, ctx.device),
+            unbroadcast(grad, sb, ctx.device),
+        )
+
+
+class Sub(_Binary):
+    NAME = "sub"
+
+    @staticmethod
+    def forward(ctx, a, b):
+        return Sub._forward(ctx, a, b, _data(a) - _data(b))
+
+    @staticmethod
+    def backward(ctx, grad):
+        sa, sb = ctx.extras["shapes"]
+        launch_elementwise(ctx.device, "ew_sub_bwd", int(grad.size), 1, kind="copy")
+        return (
+            unbroadcast(grad, sa, ctx.device),
+            unbroadcast(-grad, sb, ctx.device),
+        )
+
+
+class Mul(_Binary):
+    NAME = "mul"
+
+    @staticmethod
+    def forward(ctx, a, b):
+        ad, bd = _data(a), _data(b)
+        ctx.save_for_backward(ad, bd)
+        return Mul._forward(ctx, a, b, ad * bd)
+
+    @staticmethod
+    def backward(ctx, grad):
+        ad, bd = ctx.saved
+        sa, sb = ctx.extras["shapes"]
+        launch_elementwise(ctx.device, "ew_mul_bwd", int(grad.size) * 2, 2)
+        return (
+            unbroadcast(grad * bd, sa, ctx.device),
+            unbroadcast(grad * ad, sb, ctx.device),
+        )
+
+
+class Div(_Binary):
+    NAME = "div"
+
+    @staticmethod
+    def forward(ctx, a, b):
+        ad, bd = _data(a), _data(b)
+        ctx.save_for_backward(ad, bd)
+        return Div._forward(ctx, a, b, ad / bd)
+
+    @staticmethod
+    def backward(ctx, grad):
+        ad, bd = ctx.saved
+        sa, sb = ctx.extras["shapes"]
+        launch_elementwise(ctx.device, "ew_div_bwd", int(grad.size) * 2, 2)
+        return (
+            unbroadcast(grad / bd, sa, ctx.device),
+            unbroadcast(-grad * ad / (bd * bd), sb, ctx.device),
+        )
+
+
+class Maximum(_Binary):
+    NAME = "maximum"
+
+    @staticmethod
+    def forward(ctx, a, b):
+        ad, bd = _data(a), _data(b)
+        ctx.save_for_backward(ad >= bd)
+        return Maximum._forward(ctx, a, b, np.maximum(ad, bd))
+
+    @staticmethod
+    def backward(ctx, grad):
+        (mask,) = ctx.saved
+        sa, sb = ctx.extras["shapes"]
+        launch_elementwise(ctx.device, "ew_maximum_bwd", int(grad.size) * 2, 2)
+        return (
+            unbroadcast(grad * mask, sa, ctx.device),
+            unbroadcast(grad * ~mask, sb, ctx.device),
+        )
+
+
+class PowScalar(Function):
+    @staticmethod
+    def forward(ctx, a, exponent: float):
+        ad = _data(a)
+        ctx.extras["exponent"] = exponent
+        ctx.save_for_backward(ad)
+        launch_elementwise(ctx.device, "ew_pow", int(ad.size), 1, kind="unary",
+                           flops_per_elem=2.0)
+        return ad ** exponent
+
+    @staticmethod
+    def backward(ctx, grad):
+        (ad,) = ctx.saved
+        p = ctx.extras["exponent"]
+        launch_elementwise(ctx.device, "ew_pow_bwd", int(grad.size), 2)
+        return (grad * p * ad ** (p - 1),)
+
+
+class _Unary(Function):
+    """Shared plumbing for unary elementwise ops."""
+
+    NAME = "unary"
+    FLOPS = 1.0
+
+    @classmethod
+    def _forward(cls, ctx: Context, out: np.ndarray) -> np.ndarray:
+        launch_elementwise(
+            ctx.device, f"ew_{cls.NAME}", int(out.size), 1, kind="unary",
+            flops_per_elem=cls.FLOPS,
+        )
+        return out
+
+    @classmethod
+    def _backward_launch(cls, ctx: Context, grad: np.ndarray) -> None:
+        launch_elementwise(ctx.device, f"ew_{cls.NAME}_bwd", int(grad.size), 2)
+
+
+class Neg(_Unary):
+    NAME = "neg"
+
+    @staticmethod
+    def forward(ctx, a):
+        return Neg._forward(ctx, -_data(a))
+
+    @staticmethod
+    def backward(ctx, grad):
+        Neg._backward_launch(ctx, grad)
+        return (-grad,)
+
+
+class Exp(_Unary):
+    NAME = "exp"
+    FLOPS = 2.0
+
+    @staticmethod
+    def forward(ctx, a):
+        out = np.exp(_data(a))
+        ctx.save_for_backward(out)
+        return Exp._forward(ctx, out)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        Exp._backward_launch(ctx, grad)
+        return (grad * out,)
+
+
+class Log(_Unary):
+    NAME = "log"
+    FLOPS = 2.0
+
+    @staticmethod
+    def forward(ctx, a):
+        ad = _data(a)
+        ctx.save_for_backward(ad)
+        return Log._forward(ctx, np.log(ad))
+
+    @staticmethod
+    def backward(ctx, grad):
+        (ad,) = ctx.saved
+        Log._backward_launch(ctx, grad)
+        return (grad / ad,)
+
+
+class Sqrt(_Unary):
+    NAME = "sqrt"
+    FLOPS = 2.0
+
+    @staticmethod
+    def forward(ctx, a):
+        out = np.sqrt(_data(a))
+        ctx.save_for_backward(out)
+        return Sqrt._forward(ctx, out)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        Sqrt._backward_launch(ctx, grad)
+        return (grad / (2.0 * out),)
+
+
+class Tanh(_Unary):
+    NAME = "tanh"
+    FLOPS = 3.0
+
+    @staticmethod
+    def forward(ctx, a):
+        out = np.tanh(_data(a))
+        ctx.save_for_backward(out)
+        return Tanh._forward(ctx, out)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        Tanh._backward_launch(ctx, grad)
+        return (grad * (1.0 - out * out),)
+
+
+class Sigmoid(_Unary):
+    NAME = "sigmoid"
+    FLOPS = 3.0
+
+    @staticmethod
+    def forward(ctx, a):
+        ad = _data(a)
+        out = 1.0 / (1.0 + np.exp(-np.clip(ad, -60.0, 60.0)))
+        ctx.save_for_backward(out)
+        return Sigmoid._forward(ctx, out.astype(ad.dtype, copy=False))
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        Sigmoid._backward_launch(ctx, grad)
+        return (grad * out * (1.0 - out),)
+
+
+class ReLU(_Unary):
+    NAME = "relu"
+
+    @staticmethod
+    def forward(ctx, a):
+        ad = _data(a)
+        mask = ad > 0
+        ctx.save_for_backward(mask)
+        return ReLU._forward(ctx, ad * mask)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (mask,) = ctx.saved
+        ReLU._backward_launch(ctx, grad)
+        return (grad * mask,)
+
+
+class LeakyReLU(_Unary):
+    NAME = "leaky_relu"
+
+    @staticmethod
+    def forward(ctx, a, negative_slope: float = 0.01):
+        ad = _data(a)
+        mask = ad > 0
+        ctx.save_for_backward(mask)
+        ctx.extras["slope"] = negative_slope
+        return LeakyReLU._forward(ctx, np.where(mask, ad, negative_slope * ad))
+
+    @staticmethod
+    def backward(ctx, grad):
+        (mask,) = ctx.saved
+        slope = ctx.extras["slope"]
+        LeakyReLU._backward_launch(ctx, grad)
+        return (np.where(mask, grad, slope * grad),)
+
+
+class PReLU(Function):
+    """Parametric ReLU: the learned slope makes this a two-input op."""
+
+    @staticmethod
+    def forward(ctx, a, slope):
+        ad, sd = _data(a), _data(slope)
+        mask = ad > 0
+        ctx.save_for_backward(ad, sd, mask)
+        launch_elementwise(ctx.device, "ew_prelu", int(ad.size), 2)
+        return np.where(mask, ad, sd * ad)
+
+    @staticmethod
+    def backward(ctx, grad):
+        ad, sd, mask = ctx.saved
+        launch_elementwise(ctx.device, "ew_prelu_bwd", int(grad.size) * 2, 2)
+        grad_a = np.where(mask, grad, sd * grad)
+        grad_slope = unbroadcast(np.where(mask, 0.0, grad * ad), sd.shape, ctx.device)
+        return grad_a, grad_slope
+
+
+class Abs(_Unary):
+    NAME = "abs"
+
+    @staticmethod
+    def forward(ctx, a):
+        ad = _data(a)
+        ctx.save_for_backward(np.sign(ad))
+        return Abs._forward(ctx, np.abs(ad))
+
+    @staticmethod
+    def backward(ctx, grad):
+        (sign,) = ctx.saved
+        Abs._backward_launch(ctx, grad)
+        return (grad * sign,)
+
+
+class Clamp(_Unary):
+    NAME = "clamp"
+
+    @staticmethod
+    def forward(ctx, a, lo: Optional[float], hi: Optional[float]):
+        ad = _data(a)
+        out = np.clip(ad, lo, hi)
+        mask = np.ones_like(ad, dtype=bool)
+        if lo is not None:
+            mask &= ad >= lo
+        if hi is not None:
+            mask &= ad <= hi
+        ctx.save_for_backward(mask)
+        return Clamp._forward(ctx, out)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (mask,) = ctx.saved
+        Clamp._backward_launch(ctx, grad)
+        return (grad * mask,)
+
+
+class Dropout(Function):
+    @staticmethod
+    def forward(ctx, a, p: float, rng: np.random.Generator):
+        ad = _data(a)
+        keep = rng.random(ad.shape) >= p
+        scale = 1.0 / (1.0 - p)
+        ctx.save_for_backward(keep)
+        ctx.extras["scale"] = scale
+        # RNG (Philox) is integer-heavy on real GPUs.
+        launch_elementwise(ctx.device, "ew_dropout", int(ad.size), 2,
+                           kind="compare")
+        return ad * keep * scale
+
+    @staticmethod
+    def backward(ctx, grad):
+        (keep,) = ctx.saved
+        scale = ctx.extras["scale"]
+        launch_elementwise(ctx.device, "ew_dropout_bwd", int(grad.size), 2)
+        return (grad * keep * scale,)
+
+
+class Where(Function):
+    """``cond`` is a raw boolean array (selection is not differentiable)."""
+
+    @staticmethod
+    def forward(ctx, a, b, cond):
+        cd = np.asarray(_data(cond)).astype(bool)
+        ctx.save_for_backward(cd)
+        ctx.extras["shapes"] = (_data(a).shape, _data(b).shape)
+        out = np.where(cd, _data(a), _data(b))
+        launch_elementwise(ctx.device, "ew_where", int(out.size), 3)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        (cd,) = ctx.saved
+        sa, sb = ctx.extras["shapes"]
+        launch_elementwise(ctx.device, "ew_where_bwd", int(grad.size) * 2, 2)
+        return (
+            unbroadcast(grad * cd, sa, ctx.device),
+            unbroadcast(grad * ~cd, sb, ctx.device),
+        )
+
+
+def compare(a, b, op: str):
+    """Non-differentiable comparison; returns a raw bool ndarray plus kernel."""
+    ad, bd = _data(a), _data(b)
+    out = getattr(np, op)(ad, bd)
+    device = base.device_of(a, b)
+    launch_elementwise(device, f"ew_{op}", int(np.asarray(out).size), 2,
+                       kind="compare")
+    return out
+
+
+class FusedLSTMPointwise(Function):
+    """PyTorch's ``_thnn_fused_lstm_cell``: all gate nonlinearities, the cell
+    update and the output in ONE elementwise kernel.
+
+    ``gates`` is (batch, 4*hidden) pre-activation [i, f, g, o]; ``c_prev`` is
+    (batch, hidden).  Returns (batch, 2*hidden) = [h, c] concatenated.
+    """
+
+    @staticmethod
+    def forward(ctx, gates, c_prev):
+        gd, cd = _data(gates), _data(c_prev)
+        hs = cd.shape[1]
+        i = 1.0 / (1.0 + np.exp(-np.clip(gd[:, :hs], -60, 60)))
+        f = 1.0 / (1.0 + np.exp(-np.clip(gd[:, hs : 2 * hs], -60, 60)))
+        g = np.tanh(gd[:, 2 * hs : 3 * hs])
+        o = 1.0 / (1.0 + np.exp(-np.clip(gd[:, 3 * hs :], -60, 60)))
+        c = f * cd + i * g
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        ctx.save_for_backward(i, f, g, o, cd, tanh_c)
+        launch_elementwise(ctx.device, "fused_lstm_cell", int(gd.size), 2,
+                           kind="unary", flops_per_elem=6.0)
+        return np.concatenate([h, c], axis=1).astype(gd.dtype, copy=False)
+
+    @staticmethod
+    def backward(ctx, grad):
+        i, f, g, o, c_prev, tanh_c = ctx.saved
+        hs = c_prev.shape[1]
+        dh = grad[:, :hs]
+        dc_out = grad[:, hs:]
+        do = dh * tanh_c
+        dc = dc_out + dh * o * (1.0 - tanh_c * tanh_c)
+        di = dc * g
+        df = dc * c_prev
+        dg = dc * i
+        dc_prev = dc * f
+        grad_gates = np.concatenate(
+            [
+                di * i * (1.0 - i),
+                df * f * (1.0 - f),
+                dg * (1.0 - g * g),
+                do * o * (1.0 - o),
+            ],
+            axis=1,
+        )
+        launch_elementwise(ctx.device, "fused_lstm_cell_bwd",
+                           int(grad_gates.size), 2)
+        return grad_gates.astype(c_prev.dtype, copy=False), dc_prev

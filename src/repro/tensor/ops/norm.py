@@ -1,0 +1,117 @@
+"""Normalization layers' functional cores: batch norm and layer norm.
+
+BatchNorm is tracked as its own op class because the paper calls it out for
+DeepGCN (Figure 5's per-op stall analysis includes BatchNorm).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...gpu import AccessPattern, OpClass
+from ..autograd import Function
+from .base import COSTS, launch
+
+
+def _data(x):
+    from .base import as_array
+
+    return as_array(x)
+
+
+def _launch_bn(device, name: str, size: int) -> None:
+    if device is None or size == 0:
+        return
+    launch(
+        device,
+        name,
+        OpClass.BATCHNORM,
+        threads=size,
+        cost=COSTS["batchnorm"],
+        bytes_read=float(size * 4 * 2),
+        bytes_written=float(size * 4),
+        reuse_factor=2.0,
+        access=AccessPattern.coalesced(4),
+    )
+
+
+class BatchNorm(Function):
+    """Batch normalization over all axes except ``channel_axis``."""
+
+    @staticmethod
+    def forward(ctx, x, gamma, beta, channel_axis: int = 1, eps: float = 1e-5):
+        xd = _data(x)
+        gd, bd = _data(gamma), _data(beta)
+        axes = tuple(i for i in range(xd.ndim) if i != channel_axis)
+        mean = xd.mean(axis=axes, keepdims=True)
+        var = xd.var(axis=axes, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + eps)
+        xhat = (xd - mean) * inv_std
+        bshape = [1] * xd.ndim
+        bshape[channel_axis] = xd.shape[channel_axis]
+        out = xhat * gd.reshape(bshape) + bd.reshape(bshape)
+        ctx.save_for_backward(xhat, inv_std, gd)
+        ctx.extras.update(axes=axes, bshape=tuple(bshape),
+                          count=xd.size // xd.shape[channel_axis])
+        ctx.extras["mean"] = mean.reshape(-1)
+        ctx.extras["var"] = var.reshape(-1)
+        _launch_bn(ctx.device, "batchnorm_fwd", int(xd.size))
+        return out.astype(xd.dtype, copy=False)
+
+    @staticmethod
+    def backward(ctx, grad):
+        xhat, inv_std, gd = ctx.saved
+        axes = ctx.extras["axes"]
+        bshape = ctx.extras["bshape"]
+        m = ctx.extras["count"]
+        grad_gamma = (grad * xhat).sum(axis=axes)
+        grad_beta = grad.sum(axis=axes)
+        g = grad * gd.reshape(bshape)
+        grad_x = (
+            inv_std
+            / m
+            * (
+                m * g
+                - g.sum(axis=axes, keepdims=True)
+                - xhat * (g * xhat).sum(axis=axes, keepdims=True)
+            )
+        )
+        _launch_bn(ctx.device, "batchnorm_bwd", int(grad.size))
+        return grad_x.astype(grad.dtype, copy=False), grad_gamma, grad_beta
+
+
+class LayerNorm(Function):
+    """Layer normalization over the trailing axis."""
+
+    @staticmethod
+    def forward(ctx, x, gamma, beta, eps: float = 1e-5):
+        xd = _data(x)
+        gd, bd = _data(gamma), _data(beta)
+        mean = xd.mean(axis=-1, keepdims=True)
+        var = xd.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + eps)
+        xhat = (xd - mean) * inv_std
+        out = xhat * gd + bd
+        ctx.save_for_backward(xhat, inv_std, gd)
+        _launch_bn(ctx.device, "layernorm_fwd", int(xd.size))
+        return out.astype(xd.dtype, copy=False)
+
+    @staticmethod
+    def backward(ctx, grad):
+        xhat, inv_std, gd = ctx.saved
+        n = xhat.shape[-1]
+        reduce_axes = tuple(range(grad.ndim - 1))
+        grad_gamma = (grad * xhat).sum(axis=reduce_axes)
+        grad_beta = grad.sum(axis=reduce_axes)
+        g = grad * gd
+        grad_x = (
+            inv_std
+            / n
+            * (
+                n * g
+                - g.sum(axis=-1, keepdims=True)
+                - xhat * (g * xhat).sum(axis=-1, keepdims=True)
+            )
+        )
+        _launch_bn(ctx.device, "layernorm_bwd", int(grad.size))
+        return grad_x.astype(grad.dtype, copy=False), grad_gamma, grad_beta

@@ -1,0 +1,142 @@
+"""Reduction operations: sum / mean / max / min over axes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...gpu import OpClass
+from ..autograd import Function
+from .base import launch_elementwise, launch_reduction
+
+
+def _data(x):
+    from .base import as_array
+
+    return as_array(x)
+
+
+def _norm_axis(axis, ndim: int):
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+class Sum(Function):
+    @staticmethod
+    def forward(ctx, a, axis=None, keepdims: bool = False):
+        ad = _data(a)
+        axis = _norm_axis(axis, ad.ndim)
+        ctx.extras.update(shape=ad.shape, axis=axis, keepdims=keepdims)
+        out = ad.sum(axis=axis, keepdims=keepdims)
+        launch_reduction(ctx.device, "reduce_sum", int(ad.size),
+                         int(np.asarray(out).size))
+        return np.asarray(out, dtype=ad.dtype)
+
+    @staticmethod
+    def backward(ctx, grad):
+        shape = ctx.extras["shape"]
+        axis = ctx.extras["axis"]
+        keepdims = ctx.extras["keepdims"]
+        if axis is not None and not keepdims:
+            grad = np.expand_dims(grad, axis)
+        out = np.broadcast_to(grad, shape).copy()
+        launch_elementwise(ctx.device, "ew_sum_bwd", int(out.size), 1, kind="copy")
+        return (out,)
+
+
+class Mean(Function):
+    @staticmethod
+    def forward(ctx, a, axis=None, keepdims: bool = False):
+        ad = _data(a)
+        axis = _norm_axis(axis, ad.ndim)
+        out = ad.mean(axis=axis, keepdims=keepdims)
+        count = ad.size / max(1, np.asarray(out).size)
+        ctx.extras.update(shape=ad.shape, axis=axis, keepdims=keepdims, count=count)
+        launch_reduction(ctx.device, "reduce_mean", int(ad.size),
+                         int(np.asarray(out).size))
+        return np.asarray(out, dtype=ad.dtype)
+
+    @staticmethod
+    def backward(ctx, grad):
+        shape = ctx.extras["shape"]
+        axis = ctx.extras["axis"]
+        keepdims = ctx.extras["keepdims"]
+        count = ctx.extras["count"]
+        if axis is not None and not keepdims:
+            grad = np.expand_dims(grad, axis)
+        out = np.broadcast_to(grad / count, shape).copy()
+        launch_elementwise(ctx.device, "ew_mean_bwd", int(out.size), 1, kind="copy")
+        return (out,)
+
+
+class _MinMax(Function):
+    """Max/min over one axis or all; grad flows to the arg-extreme slots."""
+
+    OP = "max"
+
+    @classmethod
+    def _forward(cls, ctx, a, axis, keepdims):
+        ad = _data(a)
+        axis_n = axis if axis is None else axis % ad.ndim
+        reducer = np.max if cls.OP == "max" else np.min
+        out = reducer(ad, axis=axis_n, keepdims=True)
+        mask = ad == out
+        # Split grad among ties, as real kernels effectively do via atomics.
+        counts = mask.sum(axis=axis_n, keepdims=True)
+        ctx.save_for_backward(mask, counts)
+        ctx.extras.update(axis=axis_n, keepdims=keepdims, shape=ad.shape)
+        launch_reduction(ctx.device, f"reduce_{cls.OP}", int(ad.size),
+                         int(out.size))
+        if not keepdims:
+            out = np.squeeze(out, axis=axis_n) if axis_n is not None else out.reshape(())
+        return np.asarray(out, dtype=ad.dtype)
+
+    @classmethod
+    def _backward(cls, ctx, grad):
+        mask, counts = ctx.saved
+        axis = ctx.extras["axis"]
+        keepdims = ctx.extras["keepdims"]
+        if not keepdims and axis is not None:
+            grad = np.expand_dims(grad, axis)
+        out = mask * (grad / counts)
+        launch_elementwise(ctx.device, f"ew_{cls.OP}_bwd", int(out.size), 2)
+        return (np.asarray(out, dtype=mask.dtype if mask.dtype.kind == "f" else np.float32).reshape(ctx.extras["shape"]),)
+
+
+class Max(_MinMax):
+    OP = "max"
+
+    @staticmethod
+    def forward(ctx, a, axis=None, keepdims: bool = False):
+        return Max._forward(ctx, a, axis, keepdims)
+
+    @staticmethod
+    def backward(ctx, grad):
+        return Max._backward(ctx, grad)
+
+
+class Min(_MinMax):
+    OP = "min"
+
+    @staticmethod
+    def forward(ctx, a, axis=None, keepdims: bool = False):
+        return Min._forward(ctx, a, axis, keepdims)
+
+    @staticmethod
+    def backward(ctx, grad):
+        return Min._backward(ctx, grad)
+
+
+def argmax(a, axis: Optional[int] = None) -> np.ndarray:
+    """Non-differentiable argmax (emits a reduction kernel)."""
+    ad = _data(a)
+    from .base import device_of
+
+    out = np.argmax(ad, axis=axis)
+    launch_reduction(device_of(a), "reduce_argmax", int(ad.size),
+                     int(np.asarray(out).size))
+    return out

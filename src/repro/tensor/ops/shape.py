@@ -1,0 +1,153 @@
+"""Shape/layout operations: reshape, transpose, concat, split, pad, slicing.
+
+Reshape is free (a view); everything that physically rearranges memory emits
+a COPY-class kernel, as the corresponding CUDA ``copy_`` / ``cat`` /
+``permute``-materialization kernels would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...gpu import AccessPattern, OpClass
+from ..autograd import Function
+from .base import COSTS, FLOAT_BYTES, launch
+
+
+def _data(x):
+    from .base import as_array
+
+    return as_array(x)
+
+
+def launch_copy(device, name: str, size: int, stride_bytes: int = FLOAT_BYTES) -> None:
+    if device is None or size == 0:
+        return
+    access = (
+        AccessPattern.coalesced(FLOAT_BYTES)
+        if stride_bytes <= FLOAT_BYTES
+        else AccessPattern.strided(stride_bytes, FLOAT_BYTES)
+    )
+    launch(
+        device,
+        name,
+        OpClass.COPY,
+        threads=size,
+        cost=COSTS["copy"],
+        bytes_read=float(size * FLOAT_BYTES),
+        bytes_written=float(size * FLOAT_BYTES),
+        access=access,
+    )
+
+
+class Reshape(Function):
+    @staticmethod
+    def forward(ctx, a, shape):
+        ad = _data(a)
+        ctx.extras["shape"] = ad.shape
+        return ad.reshape(shape)
+
+    @staticmethod
+    def backward(ctx, grad):
+        return (grad.reshape(ctx.extras["shape"]),)
+
+
+class Permute(Function):
+    @staticmethod
+    def forward(ctx, a, axes):
+        ad = _data(a)
+        axes = tuple(axes)
+        ctx.extras["axes"] = axes
+        out = np.ascontiguousarray(np.transpose(ad, axes))
+        # Transpose kernels stage 32x32 tiles through shared memory, so both
+        # the read and write sides stay coalesced; model a mildly strided
+        # pattern (one extra line per warp) rather than a full gather.
+        stride = FLOAT_BYTES
+        if axes and axes[-1] != ad.ndim - 1:
+            stride = FLOAT_BYTES * 2
+        launch_copy(ctx.device, "permute_copy", int(ad.size), stride)
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        axes = ctx.extras["axes"]
+        inverse = np.argsort(axes)
+        launch_copy(ctx.device, "permute_copy_bwd", int(grad.size))
+        return (np.ascontiguousarray(np.transpose(grad, inverse)),)
+
+
+class Concat(Function):
+    @staticmethod
+    def forward(ctx, *tensors, axis: int = 0):
+        arrays = [_data(t) for t in tensors]
+        ctx.extras["axis"] = axis
+        ctx.extras["sizes"] = [a.shape[axis] for a in arrays]
+        out = np.concatenate(arrays, axis=axis)
+        launch_copy(ctx.device, "cat_copy", int(out.size))
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        axis = ctx.extras["axis"]
+        sizes = ctx.extras["sizes"]
+        splits = np.cumsum(sizes)[:-1]
+        launch_copy(ctx.device, "cat_copy_bwd", int(grad.size))
+        return tuple(np.split(grad, splits, axis=axis))
+
+
+class Stack(Function):
+    @staticmethod
+    def forward(ctx, *tensors, axis: int = 0):
+        arrays = [_data(t) for t in tensors]
+        ctx.extras["axis"] = axis
+        out = np.stack(arrays, axis=axis)
+        launch_copy(ctx.device, "stack_copy", int(out.size))
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        axis = ctx.extras["axis"]
+        launch_copy(ctx.device, "stack_copy_bwd", int(grad.size))
+        return tuple(np.moveaxis(grad, axis, 0))
+
+
+class Slice(Function):
+    """Basic slicing; backward scatters into a zero tensor of input shape."""
+
+    @staticmethod
+    def forward(ctx, a, key):
+        ad = _data(a)
+        ctx.extras["key"] = key
+        ctx.extras["shape"] = ad.shape
+        out = ad[key]
+        launch_copy(ctx.device, "slice_copy", int(np.asarray(out).size))
+        return np.ascontiguousarray(out)
+
+    @staticmethod
+    def backward(ctx, grad):
+        out = np.zeros(ctx.extras["shape"], dtype=grad.dtype)
+        out[ctx.extras["key"]] = grad
+        launch_copy(ctx.device, "slice_copy_bwd", int(grad.size))
+        return (out,)
+
+
+class Pad2d(Function):
+    """Zero padding of the trailing two axes (used by conv blocks)."""
+
+    @staticmethod
+    def forward(ctx, a, pad):
+        ad = _data(a)
+        ctx.extras["pad"] = pad
+        widths = [(0, 0)] * (ad.ndim - 2) + [(pad[0], pad[1]), (pad[2], pad[3])]
+        out = np.pad(ad, widths)
+        launch_copy(ctx.device, "pad_copy", int(out.size))
+        return out
+
+    @staticmethod
+    def backward(ctx, grad):
+        pad = ctx.extras["pad"]
+        h = grad.shape[-2] - pad[0] - pad[1]
+        w = grad.shape[-1] - pad[2] - pad[3]
+        out = grad[..., pad[0] : pad[0] + h, pad[2] : pad[2] + w]
+        launch_copy(ctx.device, "pad_copy_bwd", int(out.size))
+        return (np.ascontiguousarray(out),)

@@ -1,0 +1,77 @@
+"""Softmax family (softmax / log-softmax), classified as reduction-style
+kernels: each launch makes max/sum passes over the reduced axis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...gpu import AccessPattern, OpClass
+from ..autograd import Function
+from .base import COSTS, launch
+
+
+def _data(x):
+    from .base import as_array
+
+    return as_array(x)
+
+
+def _launch_softmax(device, name: str, size: int) -> None:
+    if device is None or size == 0:
+        return
+    launch(
+        device,
+        name,
+        OpClass.SOFTMAX,
+        threads=size,
+        cost=COSTS["softmax"],
+        bytes_read=float(size * 4),
+        bytes_written=float(size * 4),
+        reuse_factor=2.0,
+        access=AccessPattern.coalesced(4),
+    )
+
+
+def _softmax(ad: np.ndarray, axis: int) -> np.ndarray:
+    shifted = ad - ad.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class Softmax(Function):
+    @staticmethod
+    def forward(ctx, a, axis: int = -1):
+        ad = _data(a)
+        out = _softmax(ad, axis)
+        ctx.save_for_backward(out)
+        ctx.extras["axis"] = axis
+        _launch_softmax(ctx.device, "softmax_fwd", int(ad.size))
+        return out.astype(ad.dtype, copy=False)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (out,) = ctx.saved
+        axis = ctx.extras["axis"]
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        _launch_softmax(ctx.device, "softmax_bwd", int(grad.size))
+        return (out * (grad - dot),)
+
+
+class LogSoftmax(Function):
+    @staticmethod
+    def forward(ctx, a, axis: int = -1):
+        ad = _data(a)
+        shifted = ad - ad.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = shifted - log_z
+        ctx.save_for_backward(np.exp(out))
+        ctx.extras["axis"] = axis
+        _launch_softmax(ctx.device, "log_softmax_fwd", int(ad.size))
+        return out.astype(ad.dtype, copy=False)
+
+    @staticmethod
+    def backward(ctx, grad):
+        (softmax,) = ctx.saved
+        axis = ctx.extras["axis"]
+        _launch_softmax(ctx.device, "log_softmax_bwd", int(grad.size))
+        return (grad - softmax * grad.sum(axis=axis, keepdims=True),)

@@ -1,0 +1,141 @@
+"""Sparse matrix support: CSR SparseTensor and SpMM (sparse @ dense).
+
+SpMM is the core aggregation kernel of DGL-style GNNs (g-SpMM): row-parallel
+CSR traversal where each warp walks a node's neighbor list and accumulates
+feature rows.  The column-index stream is attached to the launch so the
+divergence/cache models see the *real* graph structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ...gpu import OpClass
+from ..autograd import Function
+from .base import COSTS, FLOAT_BYTES, INDEX_BYTES, irregular_row_access, launch
+
+
+class SparseTensor:
+    """An immutable CSR matrix pinned to a device.
+
+    Values are not differentiable (GNN adjacency matrices are constants);
+    gradients flow through the dense operand of :func:`spmm`.
+    """
+
+    def __init__(self, matrix: sp.spmatrix, device=None) -> None:
+        self._csr = matrix.tocsr().astype(np.float32)
+        self._csr.sum_duplicates()
+        self.device = device
+        self._transpose: Optional["SparseTensor"] = None
+
+    @classmethod
+    def from_edges(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: Optional[np.ndarray],
+        shape: tuple[int, int],
+        device=None,
+    ) -> "SparseTensor":
+        if values is None:
+            values = np.ones(len(rows), dtype=np.float32)
+        matrix = sp.coo_matrix((values, (rows, cols)), shape=shape)
+        return cls(matrix, device=device)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._csr.shape
+
+    @property
+    def nnz(self) -> int:
+        return int(self._csr.nnz)
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._csr.indices
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._csr.indptr
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._csr.data
+
+    def scipy(self) -> sp.csr_matrix:
+        return self._csr
+
+    def t(self) -> "SparseTensor":
+        """Transpose, cached (built once, like a framework's CSC view)."""
+        if self._transpose is None:
+            self._transpose = SparseTensor(self._csr.T.tocsr(), device=self.device)
+            self._transpose._transpose = self
+        return self._transpose
+
+    def to(self, device) -> "SparseTensor":
+        if device is self.device:
+            return self
+        moved = SparseTensor(self._csr, device=device)
+        if device is not None:
+            device.h2d(self._csr.data, "sparse.values")
+            device.h2d(self._csr.indices, "sparse.indices")
+            device.h2d(self._csr.indptr, "sparse.indptr")
+        return moved
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SparseTensor(shape={self.shape}, nnz={self.nnz})"
+
+
+def launch_spmm(device, name: str, matrix: sp.csr_matrix, feat_width: int) -> None:
+    if device is None or matrix.nnz == 0:
+        return
+    nnz = int(matrix.nnz)
+    rows = matrix.shape[0]
+    work = float(nnz * feat_width)
+    launch(
+        device,
+        name,
+        OpClass.SPMM,
+        threads=max(32, rows * min(32, max(1, feat_width))),
+        cost=COSTS["spmm"],
+        work_items=work,
+        bytes_read=work * FLOAT_BYTES + nnz * (FLOAT_BYTES + INDEX_BYTES),
+        bytes_written=float(rows * feat_width * FLOAT_BYTES),
+        working_set_bytes=float(
+            matrix.shape[1] * feat_width * FLOAT_BYTES
+            + nnz * (FLOAT_BYTES + INDEX_BYTES)
+        ),
+        access=irregular_row_access(matrix.indices, feat_width),
+    )
+
+
+class SpMM(Function):
+    """out = A @ X for CSR ``A`` (constant) and dense ``X`` (differentiable)."""
+
+    @staticmethod
+    def forward(ctx, sparse: SparseTensor, x):
+        from .base import as_array
+        xd = as_array(x)
+        ctx.extras["sparse"] = sparse
+        ctx.device = ctx.device or sparse.device
+        shape = xd.shape
+        x2d = xd.reshape(shape[0], -1) if xd.ndim != 2 else xd
+        out2d = np.asarray(sparse.scipy() @ x2d, dtype=xd.dtype)
+        ctx.extras["shape"] = shape
+        launch_spmm(ctx.device, "csr_spmm", sparse.scipy(), x2d.shape[1])
+        if xd.ndim == 1:
+            return out2d[:, 0]
+        return out2d.reshape((out2d.shape[0],) + shape[1:])
+
+    @staticmethod
+    def backward(ctx, grad):
+        sparse: SparseTensor = ctx.extras["sparse"]
+        shape = ctx.extras["shape"]
+        g2d = grad.reshape(grad.shape[0], -1)
+        at = sparse.t()
+        out2d = np.asarray(at.scipy() @ g2d, dtype=grad.dtype)
+        launch_spmm(ctx.device, "csr_spmm_bwd", at.scipy(), g2d.shape[1])
+        return (out2d.reshape(shape),)

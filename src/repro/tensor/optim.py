@@ -1,0 +1,105 @@
+"""Optimizers (SGD, Adam).
+
+Parameter updates run as elementwise kernels on the device — the optimizer
+phase is a real part of the paper's profiled training time (and contributes
+substantially to the elementwise share of deep models like DeepGCN).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from . import autograd
+from .nn.module import Parameter
+from .ops.base import launch_elementwise
+
+
+class Optimizer:
+    def __init__(self, params: Iterable[Parameter]) -> None:
+        self.params = [p for p in params]
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+
+    def zero_grad(self) -> None:
+        """PyTorch 1.5 semantics: one fill kernel per gradient buffer."""
+        for p in self.params:
+            if p.grad is not None:
+                launch_elementwise(p.device, "zero_fill", p.size, 0,
+                                   kind="copy")
+            p.grad = None
+
+    def step(self) -> None:
+        with autograd.phase("optimizer"):
+            self._step()
+
+    def _step(self) -> None:
+        raise NotImplementedError
+
+    def gradient_bytes(self) -> int:
+        """Total gradient payload (what DDP must allreduce each step)."""
+        return sum(p.nbytes for p in self.params)
+
+
+class SGD(Optimizer):
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def _step(self) -> None:
+        for p, vel in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                vel *= self.momentum
+                vel += g
+                g = vel
+                launch_elementwise(p.device, "sgd_momentum_mul_add", p.size, 2)
+            p.data = p.data - self.lr * g
+            launch_elementwise(p.device, "sgd_weight_update", p.size, 2)
+
+
+class Adam(Optimizer):
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _step(self) -> None:
+        self.t += 1
+        bias1 = 1.0 - self.beta1 ** self.t
+        bias2 = 1.0 - self.beta2 ** self.t
+        step_size = self.lr * math.sqrt(bias2) / bias1
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g * g
+            p.data = p.data - step_size * m / (np.sqrt(v) + self.eps)
+            # PyTorch 1.5 (the paper's version) had no fused Adam: the step
+            # is seven separate elementwise kernels per parameter tensor,
+            # a large contributor to the elementwise share of deep models.
+            for op in ("adam_mul_beta1", "adam_add_grad", "adam_mul_beta2",
+                       "adam_addcmul_grad2", "adam_sqrt_v", "adam_add_eps_div",
+                       "adam_weight_update"):
+                launch_elementwise(p.device, op, p.size, 2)

@@ -1,0 +1,26 @@
+"""Seeded randomness for the framework (init, dropout, sampling).
+
+One process-global generator, reseedable via :func:`manual_seed`, so every
+training run, dataset and benchmark in the suite is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GENERATOR = np.random.default_rng(0)
+
+
+def manual_seed(seed: int) -> None:
+    """Reseed the framework-wide generator."""
+    global _GENERATOR
+    _GENERATOR = np.random.default_rng(seed)
+
+
+def generator() -> np.random.Generator:
+    return _GENERATOR
+
+
+def spawn(seed: int) -> np.random.Generator:
+    """Independent generator for a component that must not perturb others."""
+    return np.random.default_rng(seed)

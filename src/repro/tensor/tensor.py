@@ -1,0 +1,346 @@
+"""The Tensor type: a numpy payload plus device tag and autograd hooks.
+
+Data always physically lives in host numpy arrays (the device is simulated);
+the ``device`` attribute decides whether operations emit kernels to a
+:class:`~repro.gpu.SimulatedGPU`.  Moving a tensor with :meth:`to` performs a
+simulated PCIe copy whose value sparsity is measured — the paper's
+transfer-sparsity instrumentation point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..gpu.device import SimulatedGPU
+from . import autograd
+
+Scalar = Union[int, float, bool]
+
+
+class Tensor:
+    __slots__ = ("data", "device", "requires_grad", "grad", "_ctx", "name")
+
+    def __init__(
+        self,
+        data,
+        device: Optional[SimulatedGPU] = None,
+        requires_grad: bool = False,
+        dtype=None,
+        name: str = "",
+        _skip_copy: bool = False,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if dtype is not None:
+            arr = arr.astype(dtype, copy=False)
+        elif arr.dtype == np.float64:
+            arr = arr.astype(np.float32)
+        if not _skip_copy and not arr.flags.owndata:
+            arr = arr.copy()
+        self.data: np.ndarray = arr
+        self.device = device
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[Tensor] = None
+        self._ctx = None
+        self.name = name
+
+    # -- basic properties -----------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def __repr__(self) -> str:
+        dev = self.device.name if self.device is not None else "cpu"
+        grad = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}, device={dev}{grad})"
+
+    # -- device movement -------------------------------------------------------
+    def to(self, device: Optional[SimulatedGPU], label: str = "") -> "Tensor":
+        """Move to a (simulated) device; H2D copies measure sparsity."""
+        if device is self.device:
+            return self
+        if device is not None:
+            device.h2d(self.data, label or self.name or "tensor")
+        elif self.device is not None:
+            self.device.d2h(self.data, label or self.name or "tensor")
+        out = Tensor(self.data, device=device, requires_grad=self.requires_grad,
+                     _skip_copy=True)
+        return out
+
+    def cpu(self) -> "Tensor":
+        return self.to(None)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, device=self.device, _skip_copy=True)
+
+    def clone(self) -> "Tensor":
+        from .ops import shape as shape_ops
+
+        shape_ops.launch_copy(self.device, "clone_copy", self.size)
+        out = Tensor(self.data.copy(), device=self.device,
+                     requires_grad=self.requires_grad, _skip_copy=True)
+        return out
+
+    # -- autograd ---------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        autograd.backward(self, grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- operator sugar (dispatches to functional) -------------------------------
+    def _coerce(self, other) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(np.asarray(other, dtype=self.data.dtype),
+                      device=self.device, _skip_copy=True)
+
+    def __add__(self, other):
+        from . import functional as F
+
+        return F.add(self, self._coerce(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from . import functional as F
+
+        return F.sub(self, self._coerce(other))
+
+    def __rsub__(self, other):
+        from . import functional as F
+
+        return F.sub(self._coerce(other), self)
+
+    def __mul__(self, other):
+        from . import functional as F
+
+        return F.mul(self, self._coerce(other))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from . import functional as F
+
+        return F.div(self, self._coerce(other))
+
+    def __rtruediv__(self, other):
+        from . import functional as F
+
+        return F.div(self._coerce(other), self)
+
+    def __neg__(self):
+        from . import functional as F
+
+        return F.neg(self)
+
+    def __pow__(self, exponent: float):
+        from . import functional as F
+
+        return F.pow(self, exponent)
+
+    def __matmul__(self, other):
+        from . import functional as F
+
+        return F.matmul(self, other)
+
+    # comparisons return raw boolean arrays (non-differentiable)
+    def __gt__(self, other):
+        from .ops import elementwise
+
+        return elementwise.compare(self, other, "greater")
+
+    def __lt__(self, other):
+        from .ops import elementwise
+
+        return elementwise.compare(self, other, "less")
+
+    def __ge__(self, other):
+        from .ops import elementwise
+
+        return elementwise.compare(self, other, "greater_equal")
+
+    def __le__(self, other):
+        from .ops import elementwise
+
+        return elementwise.compare(self, other, "less_equal")
+
+    def __getitem__(self, key) -> "Tensor":
+        from . import functional as F
+        from .ops.shape import Slice
+
+        if isinstance(key, (np.ndarray, list, Tensor)) and not isinstance(key, tuple):
+            idx = key.data if isinstance(key, Tensor) else np.asarray(key)
+            if idx.dtype != np.bool_:
+                return F.index_select(self, idx)
+            key = idx
+        return Slice.apply(self, key)
+
+    # -- common methods -----------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        from .ops.shape import Reshape
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return Reshape.apply(self, shape)
+
+    view = reshape
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(-1)
+
+    def transpose(self, axis0: int = -2, axis1: int = -1) -> "Tensor":
+        from .ops.shape import Permute
+
+        axes = list(range(self.ndim))
+        if self.ndim < 2:
+            return self
+        axes[axis0], axes[axis1] = axes[axis1], axes[axis0]
+        return Permute.apply(self, tuple(axes))
+
+    def permute(self, *axes) -> "Tensor":
+        from .ops.shape import Permute
+
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return Permute.apply(self, axes)
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        new_shape = list(self.shape)
+        axis = axis if axis >= 0 else axis + self.ndim + 1
+        new_shape.insert(axis, 1)
+        return self.reshape(tuple(new_shape))
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        if axis is None:
+            new_shape = tuple(s for s in self.shape if s != 1)
+        else:
+            new_shape = tuple(s for i, s in enumerate(self.shape)
+                              if not (i == axis % self.ndim and s == 1))
+        return self.reshape(new_shape)
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from . import functional as F
+
+        return F.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from . import functional as F
+
+        return F.mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from . import functional as F
+
+        return F.max(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from . import functional as F
+
+        return F.min(self, axis=axis, keepdims=keepdims)
+
+    def argmax(self, axis: Optional[int] = None) -> np.ndarray:
+        from .ops import reduction
+
+        return reduction.argmax(self, axis=axis)
+
+    def exp(self) -> "Tensor":
+        from . import functional as F
+
+        return F.exp(self)
+
+    def log(self) -> "Tensor":
+        from . import functional as F
+
+        return F.log(self)
+
+    def sqrt(self) -> "Tensor":
+        from . import functional as F
+
+        return F.sqrt(self)
+
+    def tanh(self) -> "Tensor":
+        from . import functional as F
+
+        return F.tanh(self)
+
+    def sigmoid(self) -> "Tensor":
+        from . import functional as F
+
+        return F.sigmoid(self)
+
+    def relu(self) -> "Tensor":
+        from . import functional as F
+
+        return F.relu(self)
+
+    def clamp(self, lo=None, hi=None) -> "Tensor":
+        from . import functional as F
+
+        return F.clamp(self, lo, hi)
+
+    def abs(self) -> "Tensor":
+        from . import functional as F
+
+        return F.abs(self)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        from . import functional as F
+
+        return F.softmax(self, axis=axis)
+
+
+# -- constructors ------------------------------------------------------------
+def tensor(data, device=None, requires_grad: bool = False, dtype=None) -> Tensor:
+    return Tensor(data, device=device, requires_grad=requires_grad, dtype=dtype)
+
+
+def zeros(shape, device=None, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype), device=device,
+                  requires_grad=requires_grad, _skip_copy=True)
+
+
+def ones(shape, device=None, requires_grad: bool = False, dtype=np.float32) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype), device=device,
+                  requires_grad=requires_grad, _skip_copy=True)
+
+
+def full(shape, value: Scalar, device=None, dtype=np.float32) -> Tensor:
+    return Tensor(np.full(shape, value, dtype=dtype), device=device,
+                  _skip_copy=True)
+
+
+def arange(*args, device=None, dtype=np.int64) -> Tensor:
+    return Tensor(np.arange(*args, dtype=dtype), device=device, _skip_copy=True)

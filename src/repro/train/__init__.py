@@ -1,0 +1,21 @@
+"""Training drivers: single-device trainer, DDP strong/weak scaling."""
+
+from .ddp import (
+    ScalingPoint,
+    run_scaling_point,
+    run_scaling_study,
+    run_weak_scaling_point,
+    run_weak_scaling_study,
+)
+from .trainer import EpochResult, TimeToTrain, Trainer
+
+__all__ = [
+    "EpochResult",
+    "ScalingPoint",
+    "TimeToTrain",
+    "Trainer",
+    "run_scaling_point",
+    "run_scaling_study",
+    "run_weak_scaling_point",
+    "run_weak_scaling_study",
+]

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import SimulatedGPU
+from repro.tensor import manual_seed
+
+
+@pytest.fixture(autouse=True)
+def _seeded():
+    """Every test starts from the same framework RNG state."""
+    manual_seed(1234)
+    yield
+
+
+@pytest.fixture
+def gpu() -> SimulatedGPU:
+    return SimulatedGPU()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)

@@ -1,0 +1,198 @@
+"""Synthetic dataset generators: determinism, shapes, and the statistical
+properties the paper's findings rely on."""
+
+import numpy as np
+import pytest
+
+import repro.datasets as D
+
+
+class TestCitation:
+    def test_cora_dimensions_match_original(self):
+        ds = D.load_citation("cora")
+        assert ds.graph.num_nodes == 2708
+        assert ds.feature_dim == 1433
+        assert ds.num_classes == 7
+
+    def test_features_are_sparse_bags(self):
+        ds = D.load_citation("cora")
+        sparsity = 1.0 - (ds.features != 0).mean()
+        assert sparsity > 0.95  # citation bag-of-words is ~99% zeros
+
+    def test_deterministic(self):
+        a = D.load_citation("cora", seed=3)
+        b = D.load_citation("cora", seed=3)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.graph.src, b.graph.src)
+
+    def test_splits_disjoint_and_complete(self):
+        ds = D.load_citation("citeseer")
+        all_idx = np.concatenate([ds.train_idx, ds.val_idx, ds.test_idx])
+        assert np.unique(all_idx).size == ds.graph.num_nodes
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            D.load_citation("imaginary")
+
+    def test_community_structure_learnable(self):
+        ds = D.load_citation("cora")
+        same = (ds.labels[ds.graph.src] == ds.labels[ds.graph.dst]).mean()
+        assert same > 0.5
+
+
+class TestInteraction:
+    def test_nwp_features_exactly_10x_mvl(self):
+        """The ratio behind the paper's PSAGE elementwise finding."""
+        mvl = D.load_movielens()
+        nwp = D.load_nowplaying()
+        assert nwp.feature_dim == 10 * mvl.feature_dim
+
+    def test_nwp_catalog_larger_than_mvl(self):
+        assert D.load_nowplaying().num_items > 4 * D.load_movielens().num_items
+
+    def test_sparsity_ordering_matches_paper(self):
+        """Figure 7: MVL transfers ~22% zeros, NWP ~11%."""
+        mvl = (D.load_movielens().item_features == 0).mean()
+        nwp = (D.load_nowplaying().item_features == 0).mean()
+        assert 0.2 < mvl < 0.32
+        assert 0.08 < nwp < 0.16
+
+    def test_interactions_sorted_by_time(self):
+        ds = D.load_movielens()
+        assert np.all(np.diff(ds.timestamps) >= 0)
+
+    def test_bidirectional_edge_types(self):
+        g = D.load_movielens().graph
+        assert ("user", "watched", "item") in g.edges
+        assert ("item", "watched-by", "user") in g.edges
+
+
+class TestTraffic:
+    def test_sensor_count_matches_metr_la(self):
+        ds = D.load_metr_la(num_steps=200)
+        assert ds.graph.num_nodes == 207
+
+    def test_missing_readings_are_zeros(self):
+        ds = D.load_metr_la(num_steps=400)
+        zero_frac = (ds.signal == 0).mean()
+        assert 0.05 < zero_frac < 0.12
+
+    def test_daily_periodicity(self):
+        ds = D.load_metr_la(num_steps=600)
+        x = ds.signal.mean(axis=1)
+        x = x - x.mean()
+        ac = np.correlate(x, x, mode="full")[x.size:]
+        # autocorrelation peaks near the 288-step daily cycle
+        assert np.argmax(ac[250:330]) + 250 == pytest.approx(288, abs=20)
+
+    def test_temporal_view_round_trips(self):
+        ds = D.load_metr_la(num_steps=120)
+        sig = ds.temporal()
+        assert len(sig) == 120 - ds.history - ds.horizon + 1
+
+
+class TestMolecules:
+    def test_label_balance_reasonable(self):
+        ds = D.load_molhiv(num_graphs=128)
+        assert 0.2 < ds.labels.mean() < 0.6
+
+    def test_atom_features_mostly_zero(self):
+        """OGB-style categorical features skew to category 0 (Figure 7)."""
+        ds = D.load_molhiv(num_graphs=64)
+        atoms = np.concatenate(ds.atom_features)
+        assert (atoms == 0).mean() > 0.4
+
+    def test_feature_cardinalities_respected(self):
+        from repro.datasets.molecules import ATOM_FEATURE_DIMS
+
+        ds = D.load_molhiv(num_graphs=32)
+        atoms = np.concatenate(ds.atom_features)
+        for col, dim in enumerate(ATOM_FEATURE_DIMS):
+            assert atoms[:, col].max() < dim
+
+    def test_bond_features_per_edge(self):
+        ds = D.load_molhiv(num_graphs=16)
+        for g, bf in zip(ds.graphs, ds.bond_features):
+            assert bf.shape[0] == g.num_edges
+
+
+class TestProteins:
+    def test_balanced_classes(self):
+        ds = D.load_proteins(num_graphs=128)
+        assert 0.35 < ds.labels.mean() < 0.65
+
+    def test_one_hot_features(self):
+        ds = D.load_proteins(num_graphs=16)
+        for feats in ds.node_features:
+            np.testing.assert_allclose(feats.sum(axis=1), 1.0)
+
+    def test_backbone_keeps_graphs_connected(self):
+        import networkx as nx
+
+        ds = D.load_proteins(num_graphs=8)
+        for g in ds.graphs:
+            nxg = nx.Graph()
+            nxg.add_nodes_from(range(g.num_nodes))
+            nxg.add_edges_from(zip(g.src.tolist(), g.dst.tolist()))
+            assert nx.is_connected(nxg)
+
+
+class TestAgenda:
+    def test_triples_reference_entities(self):
+        ds = D.load_agenda(num_samples=16)
+        for s in ds.samples:
+            if s.triples.size:
+                assert s.triples[:, [0, 2]].max() < s.entities.size
+                assert s.triples[:, 1].max() < 7  # NUM_RELATIONS
+
+    def test_abstract_ends_with_eos(self):
+        from repro.datasets.agenda import EOS
+
+        ds = D.load_agenda(num_samples=8)
+        assert all(s.abstract[-1] == EOS for s in ds.samples)
+
+    def test_tokens_in_vocab(self):
+        ds = D.load_agenda(num_samples=8)
+        for s in ds.samples:
+            assert s.abstract.max() < ds.vocab_size
+            assert s.title.min() >= 3  # reserved PAD/BOS/EOS
+
+
+class TestSST:
+    def test_tree_invariants(self):
+        ds = D.load_sst(num_trees=32)
+        for tree in ds.trees:
+            assert tree.num_nodes == 2 * tree.num_leaves - 1
+            assert (tree.parent == -1).sum() == 1
+            assert tree.labels.min() >= 0 and tree.labels.max() <= 4
+
+    def test_depths_zero_at_leaves(self):
+        ds = D.load_sst(num_trees=8)
+        tree = ds.trees[0]
+        depths = tree.depths()
+        assert np.all(depths[tree.is_leaf] == 0)
+        root = int(np.nonzero(tree.parent == -1)[0][0])
+        assert depths[root] == depths.max()
+
+    def test_label_distribution_covers_classes(self):
+        ds = D.load_sst(num_trees=128)
+        labels = np.concatenate([t.labels for t in ds.trees])
+        assert np.unique(labels).size == 5
+
+
+class TestInfoRecords:
+    def test_every_dataset_documents_its_substitution(self):
+        loaders = [
+            lambda: D.load_citation("cora"),
+            D.load_movielens,
+            D.load_nowplaying,
+            lambda: D.load_metr_la(num_steps=120),
+            lambda: D.load_molhiv(num_graphs=8),
+            lambda: D.load_proteins(num_graphs=8),
+            lambda: D.load_agenda(num_samples=8),
+            lambda: D.load_sst(num_trees=8),
+        ]
+        for load in loaders:
+            info = load().info
+            assert info.substitutes_for
+            assert 0 < info.scale <= 1.0

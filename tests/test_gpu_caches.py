@@ -1,0 +1,112 @@
+"""Analytical cache model behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import DEFAULT_SIMULATION, AccessPattern, KernelDescriptor, OpClass
+from repro.gpu.caches import _fit_fraction, analyze
+
+
+def _desc(**kw):
+    base = dict(
+        name="k", op_class=OpClass.ELEMENTWISE, threads=1 << 16,
+        bytes_read=1 << 20, bytes_written=1 << 18,
+    )
+    base.update(kw)
+    return KernelDescriptor(**base)
+
+
+class TestFitFraction:
+    def test_tiny_footprint_fits(self):
+        assert _fit_fraction(1024, 128 * 1024) == 1.0
+
+    def test_huge_footprint_streams(self):
+        assert _fit_fraction(100 << 20, 128 * 1024) == 0.0
+
+    def test_monotone_in_footprint(self):
+        cap = 1 << 20
+        values = [_fit_fraction(f, cap) for f in (1 << 18, 1 << 20, 1 << 22, 1 << 24)]
+        assert values == sorted(values, reverse=True)
+
+    @given(st.floats(1, 1e12), st.floats(1, 1e9))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, footprint, capacity):
+        assert 0.0 <= _fit_fraction(footprint, capacity) <= 1.0
+
+
+class TestL1Model:
+    def test_streaming_kernel_near_base_hit(self):
+        mem = analyze(_desc(bytes_read=100 << 20, bytes_written=25 << 20), DEFAULT_SIMULATION)
+        base = DEFAULT_SIMULATION.profile_for("ELEMENTWISE").l1_base_hit
+        assert mem.l1_hit_rate == pytest.approx(base, abs=0.05)
+
+    def test_no_reuse_means_no_residency_bonus(self):
+        """Write-through L1: a tiny footprint without intra-kernel reuse
+        still misses (producer data is never L1-resident)."""
+        small = _desc(threads=256, bytes_read=4096, bytes_written=4096,
+                      reuse_factor=1.0)
+        mem = analyze(small, DEFAULT_SIMULATION)
+        base = DEFAULT_SIMULATION.profile_for("ELEMENTWISE").l1_base_hit
+        assert mem.l1_hit_rate <= base + 0.01
+
+    def test_reuse_unlocks_residency(self):
+        small = _desc(threads=256, bytes_read=4096, bytes_written=4096,
+                      reuse_factor=3.0)
+        none = _desc(threads=256, bytes_read=4096, bytes_written=4096,
+                     reuse_factor=1.0)
+        assert (
+            analyze(small, DEFAULT_SIMULATION).l1_hit_rate
+            > analyze(none, DEFAULT_SIMULATION).l1_hit_rate
+        )
+
+    def test_divergence_reduces_irregular_hit(self):
+        rng = np.random.default_rng(0)
+        scattered = _desc(
+            op_class=OpClass.GATHER,
+            access=AccessPattern.irregular(rng.integers(0, 1 << 22, 4096), 4),
+        )
+        local = _desc(
+            op_class=OpClass.GATHER,
+            access=AccessPattern.irregular(np.arange(4096), 4),
+        )
+        assert (
+            analyze(scattered, DEFAULT_SIMULATION).l1_hit_rate
+            < analyze(local, DEFAULT_SIMULATION).l1_hit_rate + 0.2
+        )
+
+    def test_hot_index_stream_gets_temporal_reuse(self):
+        hot = _desc(
+            op_class=OpClass.GATHER, threads=4096,
+            bytes_read=1 << 14, bytes_written=1 << 14,
+            access=AccessPattern.irregular(np.zeros(4096, dtype=np.int64), 4),
+        )
+        mem = analyze(hot, DEFAULT_SIMULATION)
+        assert mem.l1_hit_rate > DEFAULT_SIMULATION.profile_for("GATHER").l1_base_hit
+
+
+class TestL2AndDram:
+    def test_dram_bytes_never_exceed_l2_bytes(self):
+        mem = analyze(_desc(bytes_read=64 << 20), DEFAULT_SIMULATION)
+        assert mem.dram_bytes <= mem.l2_bytes + 1e-6
+
+    def test_fitting_footprint_raises_l2_hit(self):
+        small = analyze(_desc(bytes_read=1 << 20, working_set_bytes=1 << 20),
+                        DEFAULT_SIMULATION)
+        big = analyze(_desc(bytes_read=256 << 20, working_set_bytes=256 << 20),
+                      DEFAULT_SIMULATION)
+        assert small.l2_hit_rate > big.l2_hit_rate
+
+    def test_giant_streaming_write_spills_to_dram(self):
+        mem = analyze(
+            _desc(bytes_read=1 << 20, bytes_written=64 << 20), DEFAULT_SIMULATION
+        )
+        # at least ~half the written bytes must reach DRAM
+        assert mem.dram_bytes > 0.4 * (64 << 20)
+
+    def test_rates_bounded(self):
+        for op in (OpClass.GEMM, OpClass.SORT, OpClass.SCATTER):
+            mem = analyze(_desc(op_class=op), DEFAULT_SIMULATION)
+            assert 0.0 <= mem.l1_hit_rate <= 1.0
+            assert 0.0 <= mem.l2_hit_rate <= 1.0

@@ -1,0 +1,62 @@
+"""Device configuration invariants."""
+
+import pytest
+
+from repro.gpu import DEFAULT_SIMULATION, NVLINK2, V100, DeviceConfig, SimulationConfig
+
+
+class TestV100Config:
+    def test_peak_fp32_matches_datasheet(self):
+        # 80 SMs x 64 FMA lanes x 2 FLOPs x 1.38 GHz ~= 14.1 TFLOPS
+        assert V100.peak_fp32_flops == pytest.approx(14.1e12, rel=0.02)
+
+    def test_peak_int32_half_of_fp32(self):
+        # int ops are not FMA-fused: peak IOPS is half the FLOPs number
+        assert V100.peak_int32_iops == pytest.approx(V100.peak_fp32_flops / 2)
+
+    def test_dram_bytes_per_cycle(self):
+        assert V100.dram_bytes_per_cycle == pytest.approx(900e9 / 1.38e9)
+
+    def test_l2_size_is_paper_value(self):
+        assert V100.l2_size_bytes == pytest.approx(6.14 * 1024 * 1024, rel=1e-6)
+
+    def test_sm_count(self):
+        assert V100.num_sms == 80
+
+
+class TestLinkConfig:
+    def test_aggregate_bandwidth_is_300gbs(self):
+        assert NVLINK2.aggregate_bandwidth_bytes_per_s == pytest.approx(300e9)
+
+    def test_six_links(self):
+        assert NVLINK2.num_links == 6
+
+
+class TestSimulationConfig:
+    def test_profile_lookup_known_class(self):
+        profile = DEFAULT_SIMULATION.profile_for("GEMM")
+        assert 0.0 < profile.l1_base_hit < 0.15
+
+    def test_profile_lookup_falls_back_to_other(self):
+        assert (
+            DEFAULT_SIMULATION.profile_for("NO_SUCH_CLASS")
+            is DEFAULT_SIMULATION.profiles["OTHER"]
+        )
+
+    def test_gemm_l1_hit_is_single_digit(self):
+        """The paper: GEMM/SpMM/GEMV L1 hit < 10%."""
+        for name in ("GEMM", "GEMV", "SPMM"):
+            assert DEFAULT_SIMULATION.profile_for(name).l1_base_hit < 0.10
+
+    def test_irregular_classes_below_15_percent(self):
+        for name in ("SCATTER", "GATHER", "INDEX_SELECT", "SORT"):
+            assert DEFAULT_SIMULATION.profile_for(name).l1_base_hit < 0.15
+
+    def test_unit_efficiency_in_range(self):
+        for name, profile in DEFAULT_SIMULATION.profiles.items():
+            assert 0.0 < profile.unit_efficiency <= 1.0, name
+
+    def test_custom_device_config(self):
+        small = SimulationConfig(device=DeviceConfig(num_sms=8))
+        assert small.device.num_sms == 8
+        assert small.device.peak_fp32_flops < V100.peak_fp32_flops

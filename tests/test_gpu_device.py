@@ -1,0 +1,114 @@
+"""SimulatedGPU device behaviour: clocks, listeners, transfers."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import KernelDescriptor, OpClass, SimulatedGPU
+
+
+def _desc(threads=1 << 16, **kw):
+    base = dict(name="k", op_class=OpClass.ELEMENTWISE, threads=threads,
+                bytes_read=float(threads * 4), bytes_written=float(threads * 4))
+    base.update(kw)
+    return KernelDescriptor(**base)
+
+
+class TestClocks:
+    def test_clock_advances_per_launch(self, gpu):
+        t0 = gpu.elapsed_s()
+        gpu.launch(_desc())
+        assert gpu.elapsed_s() > t0
+
+    def test_async_launches_absorb_overhead(self):
+        """Big kernels hide the host enqueue cost (CUDA streams)."""
+        gpu = SimulatedGPU()
+        big = _desc(threads=1 << 22, bytes_read=float(512 << 20),
+                    bytes_written=float(128 << 20))
+        for _ in range(10):
+            gpu.launch(big)
+        # gaps only on the first launch; the rest enqueue while GPU is busy
+        assert gpu.stats.launch_overhead_s < 2 * gpu.sim.device.kernel_launch_overhead_s
+
+    def test_tiny_kernels_are_launch_bound(self):
+        gpu = SimulatedGPU()
+        tiny = _desc(threads=32, bytes_read=128.0, bytes_written=128.0)
+        for _ in range(100):
+            gpu.launch(tiny)
+        # host enqueue (4us each) dominates these sub-2us kernels
+        assert gpu.stats.launch_overhead_s > 0.5 * 100 * gpu.sim.device.kernel_launch_overhead_s
+
+    def test_reset_clears_everything(self, gpu):
+        gpu.launch(_desc())
+        gpu.h2d(np.zeros(10), "x")
+        gpu.reset()
+        assert gpu.elapsed_s() == 0.0
+        assert gpu.host_clock_s == 0.0
+        assert gpu.stats.kernel_count == 0
+        assert gpu.stats.transfer_count == 0
+
+
+class TestTransfers:
+    def test_h2d_measures_sparsity(self, gpu):
+        arr = np.array([0.0, 1.0, 0.0, 0.0], dtype=np.float32)
+        record = gpu.h2d(arr, "test")
+        assert record.sparsity == pytest.approx(0.75)
+        assert record.nbytes == 16
+
+    def test_dense_array_zero_sparsity(self, gpu):
+        record = gpu.h2d(np.ones(100, dtype=np.float32))
+        assert record.sparsity == 0.0
+
+    def test_int_arrays_counted_too(self, gpu):
+        record = gpu.h2d(np.array([0, 5, 0], dtype=np.int64))
+        assert record.sparsity == pytest.approx(2 / 3)
+
+    def test_transfer_duration_scales_with_bytes(self, gpu):
+        small = gpu.h2d(np.zeros(1 << 10, dtype=np.float32))
+        large = gpu.h2d(np.zeros(1 << 22, dtype=np.float32))
+        assert large.duration_s > small.duration_s
+
+    def test_d2h_direction_recorded(self, gpu):
+        record = gpu.d2h(np.zeros(4))
+        assert record.direction == "d2h"
+        assert gpu.stats.d2h_bytes == 32
+
+
+class TestListeners:
+    def test_launch_listener_sees_every_kernel(self, gpu):
+        seen = []
+        gpu.add_launch_listener(seen.append)
+        gpu.launch(_desc())
+        gpu.launch(_desc())
+        assert len(seen) == 2
+        assert seen[0].launch_id == 0 and seen[1].launch_id == 1
+
+    def test_removed_listener_stops_receiving(self, gpu):
+        seen = []
+        gpu.add_launch_listener(seen.append)
+        gpu.remove_launch_listener(seen.append)
+        gpu.launch(_desc())
+        assert seen == []
+
+    def test_transfer_listener(self, gpu):
+        seen = []
+        gpu.add_transfer_listener(seen.append)
+        gpu.h2d(np.zeros(8))
+        assert len(seen) == 1 and seen[0].label == ""
+
+
+class TestStats:
+    def test_flop_accounting(self, gpu):
+        gpu.launch(_desc(fp32_flops=1e6, int32_iops=2e6))
+        assert gpu.stats.fp32_flops == pytest.approx(1e6)
+        assert gpu.stats.int32_iops == pytest.approx(2e6)
+
+    def test_kernel_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            KernelDescriptor(name="bad", op_class=OpClass.GEMM, threads=0)
+
+    def test_launch_metrics_attached(self, gpu):
+        launch = gpu.launch(_desc())
+        assert launch.duration_s > 0
+        assert launch.stalls.total() == pytest.approx(1.0)
+        assert 0 <= launch.memory.l1_hit_rate <= 1
+        assert launch.gflops >= 0

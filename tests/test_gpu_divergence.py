@@ -1,0 +1,87 @@
+"""Warp-divergence measurement (the NVBit substitute)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import AccessPattern, measure_divergence
+
+
+class TestCoalesced:
+    def test_fp32_coalesced_has_misalignment_floor(self):
+        res = measure_divergence(AccessPattern.coalesced(4))
+        # unaligned rows straddle two lines a quarter of the time
+        assert res.divergent_fraction == pytest.approx(0.25)
+        assert res.lines_per_warp == pytest.approx(1.25)
+
+    def test_wide_elements_span_lines(self):
+        res = measure_divergence(AccessPattern.coalesced(8))
+        assert res.lines_per_warp >= 2.0
+
+
+class TestStrided:
+    def test_small_stride_single_line(self):
+        res = measure_divergence(AccessPattern.strided(4, 4))
+        assert res.lines_per_warp == pytest.approx(1.0)
+
+    def test_large_stride_touches_many_lines(self):
+        res = measure_divergence(AccessPattern.strided(512, 4))
+        assert res.lines_per_warp == pytest.approx(32.0)
+        assert res.divergent_fraction == 1.0
+
+    def test_stride_lines_capped_at_warp_size(self):
+        res = measure_divergence(AccessPattern.strided(10_000, 4))
+        assert res.lines_per_warp <= 32.0
+
+
+class TestIrregular:
+    def test_sequential_indices_not_divergent(self):
+        idx = np.arange(32 * 64)
+        res = measure_divergence(AccessPattern.irregular(idx, 4))
+        assert res.lines_per_warp == pytest.approx(1.0)
+        assert res.divergent_fraction == 0.0
+
+    def test_random_indices_fully_divergent(self):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 1 << 20, size=32 * 64)
+        res = measure_divergence(AccessPattern.irregular(idx, 4))
+        assert res.divergent_fraction == pytest.approx(1.0)
+        assert res.lines_per_warp > 16
+
+    def test_repeated_single_index_one_line(self):
+        idx = np.zeros(32 * 8, dtype=np.int64)
+        res = measure_divergence(AccessPattern.irregular(idx, 4))
+        assert res.lines_per_warp == pytest.approx(1.0)
+        assert res.unique_line_fraction < 0.01
+
+    def test_empty_indices_assume_worst_case(self):
+        res = measure_divergence(AccessPattern.irregular(np.empty(0), 4))
+        assert res.divergent_fraction == 1.0
+
+    def test_matches_brute_force_on_small_input(self):
+        rng = np.random.default_rng(3)
+        idx = rng.integers(0, 4096, size=320)
+        res = measure_divergence(AccessPattern.irregular(idx, 4))
+        lines = (idx * 4) // 128
+        warps = lines[: (lines.size // 32) * 32].reshape(-1, 32)
+        distinct = np.array([np.unique(w).size for w in warps])
+        assert res.lines_per_warp == pytest.approx(distinct.mean())
+        assert res.divergent_fraction == pytest.approx((distinct > 1).mean())
+
+    @given(st.integers(1, 2000), st.integers(1, 1 << 16))
+    @settings(max_examples=30, deadline=None)
+    def test_bounds_hold_for_any_stream(self, n, hi):
+        rng = np.random.default_rng(n)
+        idx = rng.integers(0, hi, size=n)
+        res = measure_divergence(AccessPattern.irregular(idx, 4))
+        assert 0.0 <= res.divergent_fraction <= 1.0
+        assert 1.0 <= res.lines_per_warp <= 32.0
+        assert 0.0 < res.unique_line_fraction <= 1.0
+
+    def test_sampling_keeps_statistics(self):
+        """A >4096-entry stream is sampled but stats stay representative."""
+        rng = np.random.default_rng(5)
+        idx = rng.integers(0, 1 << 18, size=100_000)
+        res = measure_divergence(AccessPattern.irregular(idx, 4), sample=4096)
+        assert res.divergent_fraction > 0.95

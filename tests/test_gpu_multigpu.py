@@ -1,0 +1,76 @@
+"""Multi-GPU system and NVLink allreduce model."""
+
+import pytest
+
+from repro.gpu import MultiGPUSystem
+
+
+class TestConstruction:
+    def test_device_ids(self):
+        system = MultiGPUSystem(4)
+        assert [d.device_id for d in system.devices] == [0, 1, 2, 3]
+        assert len(system) == 4
+
+    def test_rejects_zero_devices(self):
+        with pytest.raises(ValueError):
+            MultiGPUSystem(0)
+
+    def test_indexing(self):
+        system = MultiGPUSystem(2)
+        assert system[1] is system.devices[1]
+
+
+class TestAllReduce:
+    def test_single_gpu_is_free(self):
+        assert MultiGPUSystem(1).allreduce_cost(1 << 30).duration_s == 0.0
+
+    def test_cost_grows_with_bytes(self):
+        system = MultiGPUSystem(4)
+        small = system.allreduce_cost(1 << 20).duration_s
+        large = system.allreduce_cost(1 << 28).duration_s
+        assert large > small
+
+    def test_ring_wire_volume(self):
+        """2(N-1)/N of the buffer crosses the wire: 4 GPUs move more than 2."""
+        two = MultiGPUSystem(2).allreduce_cost(256 << 20).duration_s
+        four = MultiGPUSystem(4).allreduce_cost(256 << 20).duration_s
+        assert four > two
+
+    def test_latency_floor_for_tiny_buffers(self):
+        cost = MultiGPUSystem(4).allreduce_cost(1024)
+        # 6 pipeline hops x 9us + bucket overhead
+        assert cost.duration_s > 50e-6
+
+    def test_bucket_count(self):
+        system = MultiGPUSystem(2)
+        assert system.allreduce_cost(60 << 20).num_buckets == 3
+
+    def test_allreduce_advances_all_clocks_equally(self):
+        system = MultiGPUSystem(2)
+        system.devices[0].clock_s = 1.0
+        system.devices[1].clock_s = 3.0
+        duration = system.allreduce(1 << 20)
+        assert duration > 0
+        assert system.devices[0].clock_s == system.devices[1].clock_s
+        assert system.devices[0].clock_s == pytest.approx(3.0 + duration)
+
+
+class TestBarrier:
+    def test_barrier_aligns_on_slowest(self):
+        system = MultiGPUSystem(3)
+        system.devices[2].clock_s = 5.0
+        now = system.barrier()
+        assert now == 5.0
+        assert all(d.clock_s == 5.0 for d in system.devices)
+        assert all(d.host_clock_s == 5.0 for d in system.devices)
+
+    def test_elapsed_is_max(self):
+        system = MultiGPUSystem(2)
+        system.devices[1].clock_s = 2.5
+        assert system.elapsed_s() == 2.5
+
+    def test_reset(self):
+        system = MultiGPUSystem(2)
+        system.devices[0].clock_s = 9.0
+        system.reset()
+        assert system.elapsed_s() == 0.0

@@ -1,0 +1,84 @@
+"""Stall-attribution model behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import DEFAULT_SIMULATION, AccessPattern, KernelDescriptor, OpClass
+from repro.gpu.caches import analyze as cache_analyze
+from repro.gpu.stalls import attribute
+from repro.gpu.timing import analyze as timing_analyze
+
+
+def _stalls(desc):
+    mem = cache_analyze(desc, DEFAULT_SIMULATION)
+    tim = timing_analyze(desc, mem, DEFAULT_SIMULATION)
+    return attribute(desc, mem, tim, DEFAULT_SIMULATION)
+
+
+def _desc(op_class=OpClass.ELEMENTWISE, **kw):
+    base = dict(name="k", op_class=op_class, threads=1 << 16,
+                bytes_read=1 << 20, bytes_written=1 << 20)
+    base.update(kw)
+    return KernelDescriptor(**base)
+
+
+class TestNormalization:
+    def test_shares_sum_to_one(self):
+        for op in OpClass:
+            total = _stalls(_desc(op_class=op)).total()
+            assert total == pytest.approx(1.0, abs=1e-9), op
+
+    def test_all_shares_nonnegative(self):
+        shares = _stalls(_desc()).as_dict()
+        assert all(v >= 0 for v in shares.values())
+
+
+class TestAttribution:
+    def test_memory_bound_gather_stalls_on_memory(self):
+        rng = np.random.default_rng(0)
+        gather = _desc(
+            op_class=OpClass.GATHER,
+            int32_iops=float(1 << 16),
+            access=AccessPattern.irregular(rng.integers(0, 1 << 22, 4096), 4),
+        )
+        shares = _stalls(gather)
+        assert shares.memory_dependency == max(shares.as_dict().values())
+
+    def test_gather_stalls_more_on_memory_than_gemm(self):
+        """The paper: scatter/gather/index stalls on memory more than GEMM."""
+        rng = np.random.default_rng(0)
+        gather = _desc(
+            op_class=OpClass.GATHER, int32_iops=float(1 << 16),
+            access=AccessPattern.irregular(rng.integers(0, 1 << 22, 4096), 4),
+        )
+        gemm = _desc(op_class=OpClass.GEMM, fp32_flops=2e9, threads=1 << 18)
+        assert (
+            _stalls(gather).memory_dependency > _stalls(gemm).memory_dependency
+        )
+
+    def test_low_ilp_class_stalls_on_execution_dependency(self):
+        scatter = _desc(op_class=OpClass.SCATTER)   # ilp 1.4
+        gemm = _desc(op_class=OpClass.GEMM)          # ilp 3.5
+        assert (
+            _stalls(scatter).execution_dependency
+            > _stalls(gemm).execution_dependency
+        )
+
+    def test_unrolled_sort_pressures_icache(self):
+        """SORT kernels (24 KB code vs 12 KB L0) fetch-stall more than COPY."""
+        assert (
+            _stalls(_desc(op_class=OpClass.SORT)).instruction_fetch
+            > _stalls(_desc(op_class=OpClass.COPY)).instruction_fetch
+        )
+
+    def test_barrier_heavy_classes_sync_more(self):
+        assert (
+            _stalls(_desc(op_class=OpClass.REDUCTION)).synchronization
+            > _stalls(_desc(op_class=OpClass.ELEMENTWISE)).synchronization
+        )
+
+    def test_every_kernel_has_some_ifetch(self):
+        """The paper's surprise finding: instruction fetch stalls are
+        significant across ALL workloads."""
+        for op in (OpClass.GEMM, OpClass.ELEMENTWISE, OpClass.GATHER):
+            assert _stalls(_desc(op_class=op)).instruction_fetch > 0.05

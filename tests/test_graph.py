@@ -1,0 +1,175 @@
+"""Graph library: structure invariants and adjacency normalizations."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, generators
+
+
+def _random_graph(seed=0, n=20, e=50):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, e)
+    dst = rng.integers(0, n, e)
+    return Graph(src, dst, num_nodes=n)
+
+
+class TestGraphBasics:
+    def test_counts(self):
+        g = Graph([0, 1], [1, 2])
+        assert g.num_nodes == 3 and g.num_edges == 2
+
+    def test_explicit_num_nodes(self):
+        g = Graph([0], [1], num_nodes=10)
+        assert g.num_nodes == 10
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph([0, 5], [1, 1], num_nodes=3)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Graph([0, 1], [1])
+
+    def test_degrees(self):
+        g = Graph([0, 0, 1], [1, 2, 2])
+        np.testing.assert_array_equal(g.out_degrees(), [2, 1, 0])
+        np.testing.assert_array_equal(g.in_degrees(), [0, 1, 2])
+
+    def test_neighbors_are_in_edge_sources(self):
+        g = Graph([0, 1, 2], [2, 2, 0])
+        assert set(g.neighbors(2)) == {0, 1}
+
+    def test_csr_orientation(self):
+        """Row = destination: A @ x aggregates in-neighbors."""
+        g = Graph([0, 1], [2, 2])
+        x = np.array([1.0, 2.0, 4.0])
+        out = g.csr() @ x
+        assert out[2] == pytest.approx(3.0)
+
+    def test_from_scipy_roundtrip(self):
+        mat = sp.random(8, 8, 0.3, random_state=0, format="csr")
+        g = Graph.from_scipy(mat)
+        np.testing.assert_allclose(g.csr().toarray(), mat.T.toarray())
+
+
+class TestTransforms:
+    def test_to_undirected_symmetric(self):
+        g = _random_graph().to_undirected()
+        a = g.csr().toarray() > 0
+        np.testing.assert_array_equal(a, a.T)
+
+    def test_add_self_loops_idempotent_diagonal(self):
+        g = _random_graph().add_self_loops()
+        diag = g.csr().toarray().diagonal()
+        assert np.all(diag > 0)
+        # applying again must not duplicate loops
+        again = g.add_self_loops()
+        assert again.num_edges == g.num_edges
+
+    def test_subgraph_relabels(self):
+        g = Graph([0, 1, 2, 3], [1, 2, 3, 0], num_nodes=4)
+        sub, kept = g.subgraph(np.array([1, 2]))
+        assert sub.num_nodes == 2
+        np.testing.assert_array_equal(kept, [1, 2])
+        # the only induced edge is 1 -> 2 (relabelled 0 -> 1)
+        assert sub.num_edges == 1
+        assert sub.src[0] == 0 and sub.dst[0] == 1
+
+    @given(st.integers(5, 40), st.integers(0, 100), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_subgraph_never_exceeds_parent(self, n, e, seed):
+        rng = np.random.default_rng(seed)
+        g = Graph(rng.integers(0, n, e), rng.integers(0, n, e), num_nodes=n)
+        pick = rng.choice(n, size=rng.integers(1, n + 1), replace=False)
+        sub, kept = g.subgraph(pick)
+        assert sub.num_nodes == np.unique(pick).size
+        assert sub.num_edges <= g.num_edges
+
+
+class TestNormalization:
+    def test_rw_rows_sum_to_one(self):
+        adj = _random_graph(n=15, e=60).adjacency("rw").scipy()
+        sums = np.asarray(adj.sum(axis=1)).reshape(-1)
+        nonzero = sums[sums > 0]
+        np.testing.assert_allclose(nonzero, 1.0, rtol=1e-5)
+
+    def test_sym_is_symmetric_for_undirected(self):
+        g = _random_graph(n=12, e=40).to_undirected()
+        adj = g.adjacency("sym").scipy().toarray()
+        np.testing.assert_allclose(adj, adj.T, atol=1e-6)
+
+    def test_sym_spectrum_bounded(self):
+        g = _random_graph(n=20, e=80).to_undirected()
+        adj = g.adjacency("sym", add_self_loops=True).scipy().toarray()
+        eigs = np.linalg.eigvalsh(adj)
+        assert eigs.max() <= 1.0 + 1e-5
+
+    def test_unknown_norm_raises(self):
+        with pytest.raises(ValueError):
+            _random_graph().adjacency("bogus")
+
+    def test_adjacency_cached(self):
+        g = _random_graph()
+        assert g.adjacency("sym") is g.adjacency("sym")
+
+
+class TestGenerators:
+    def test_sbm_blocks_and_determinism(self):
+        g1, l1 = generators.stochastic_block_model([20, 20], 0.3, 0.02,
+                                                   np.random.default_rng(0))
+        g2, _ = generators.stochastic_block_model([20, 20], 0.3, 0.02,
+                                                  np.random.default_rng(0))
+        assert g1.num_edges == g2.num_edges
+        assert np.bincount(l1).tolist() == [20, 20]
+
+    def test_sbm_communities_denser_inside(self):
+        g, labels = generators.stochastic_block_model(
+            [40, 40], 0.3, 0.01, np.random.default_rng(1)
+        )
+        same = (labels[g.src] == labels[g.dst]).mean()
+        assert same > 0.7
+
+    def test_preferential_attachment_heavy_tail(self):
+        g = generators.preferential_attachment(200, 2, np.random.default_rng(2))
+        degrees = g.in_degrees()
+        assert degrees.max() > 4 * max(1.0, np.median(degrees))
+
+    def test_sensor_network_weights_in_unit_interval(self):
+        g, points = generators.sensor_network(30, 4, np.random.default_rng(3))
+        assert points.shape == (30, 2)
+        assert np.all(g.edge_weight > 0) and np.all(g.edge_weight <= 1.0)
+        assert g.num_edges == 30 * 4
+
+    def test_random_molecule_connected(self):
+        import networkx as nx
+
+        g = generators.random_molecule(np.random.default_rng(4))
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.num_nodes))
+        nxg.add_edges_from(zip(g.src.tolist(), g.dst.tolist()))
+        assert nx.is_connected(nxg)
+
+    @given(st.integers(2, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_binary_tree_structure(self, leaves):
+        parent, _, is_leaf = generators.random_binary_tree(
+            leaves, np.random.default_rng(leaves)
+        )
+        total = 2 * leaves - 1
+        assert parent.size == total
+        assert int(is_leaf.sum()) == leaves
+        assert int((parent == -1).sum()) == 1          # one root
+        # every internal node has exactly two children
+        counts = np.bincount(parent[parent >= 0], minlength=total)
+        assert np.all(counts[~is_leaf] == 2)
+        assert np.all(counts[is_leaf] == 0)
+        # children always have smaller ids (enables one-pass propagation)
+        child_ids = np.nonzero(parent >= 0)[0]
+        assert np.all(parent[child_ids] > child_ids)
+
+    def test_erdos_renyi_no_self_loops(self):
+        g = generators.erdos_renyi(50, 3.0, np.random.default_rng(5))
+        assert np.all(g.src != g.dst)

@@ -1,0 +1,114 @@
+"""Heterogeneous and temporal graph support."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicGraph, Graph, HeteroGraph, TemporalSignal
+
+
+def _bipartite():
+    return HeteroGraph(
+        num_nodes={"user": 3, "item": 4},
+        edges={
+            ("user", "buys", "item"): (np.array([0, 1, 2, 0]),
+                                       np.array([0, 1, 2, 3])),
+            ("item", "bought-by", "user"): (np.array([0, 1, 2, 3]),
+                                            np.array([0, 1, 2, 0])),
+        },
+    )
+
+
+class TestHeteroGraph:
+    def test_counts(self):
+        g = _bipartite()
+        assert g.num_nodes("user") == 3
+        assert g.num_edges(("user", "buys", "item")) == 4
+        assert set(g.node_types) == {"user", "item"}
+        assert len(g.edge_types) == 2
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(KeyError):
+            HeteroGraph({"a": 2}, {("a", "r", "b"): (np.array([0]), np.array([0]))})
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(ValueError):
+            HeteroGraph({"a": 2, "b": 2},
+                        {("a", "r", "b"): (np.array([5]), np.array([0]))})
+
+    def test_adjacency_shape(self):
+        adj = _bipartite().adjacency(("user", "buys", "item"))
+        assert adj.shape == (4, 3)  # dst-by-src
+
+    def test_rw_normalization(self):
+        adj = _bipartite().adjacency(("user", "buys", "item"), norm="rw").scipy()
+        sums = np.asarray(adj.sum(axis=1)).reshape(-1)
+        np.testing.assert_allclose(sums[sums > 0], 1.0)
+
+    def test_bipartite_projection_items_linked_via_users(self):
+        g = _bipartite()
+        proj = g.bipartite_projection(
+            via=("item", "bought-by", "user"), back=("user", "buys", "item")
+        )
+        assert isinstance(proj, Graph)
+        assert proj.num_nodes == 4
+        # items 0 and 3 share user 0 -> connected, no self loops
+        pairs = set(zip(proj.src.tolist(), proj.dst.tolist()))
+        assert (0, 3) in pairs or (3, 0) in pairs
+        assert all(s != d for s, d in pairs)
+
+
+class TestTemporalSignal:
+    def _signal(self, steps=20, nodes=4):
+        g = Graph(np.arange(nodes - 1), np.arange(1, nodes), num_nodes=nodes)
+        values = np.arange(steps * nodes, dtype=np.float32).reshape(steps, nodes)
+        return TemporalSignal(g, values, history=3, horizon=2)
+
+    def test_window_count(self):
+        sig = self._signal(steps=20)
+        assert len(sig) == 20 - 3 - 2 + 1
+
+    def test_window_contents(self):
+        sig = self._signal()
+        x, y = sig.window(0)
+        assert x.shape == (3, 4, 1)
+        np.testing.assert_allclose(x[:, :, 0], sig.signal[:3, :, 0])
+        np.testing.assert_allclose(y[:, 0], sig.signal[4, :, 0])
+
+    def test_window_out_of_range(self):
+        with pytest.raises(IndexError):
+            self._signal().window(1000)
+
+    def test_batches_cover_everything(self):
+        sig = self._signal()
+        seen = sum(x.shape[0] for x, _ in sig.batches(4))
+        assert seen == len(sig)
+
+    def test_shuffled_batches(self):
+        sig = self._signal()
+        a = np.concatenate([x for x, _ in sig.batches(4)])
+        b = np.concatenate(
+            [x for x, _ in sig.batches(4, rng=np.random.default_rng(0))]
+        )
+        assert a.shape == b.shape
+
+    def test_mismatched_nodes_rejected(self):
+        g = Graph([0], [1], num_nodes=2)
+        with pytest.raises(ValueError):
+            TemporalSignal(g, np.zeros((5, 3)), 2, 1)
+
+
+class TestDynamicGraph:
+    def test_append_and_index(self):
+        dyn = DynamicGraph()
+        dyn.append(Graph([0], [1], num_nodes=3))
+        dyn.append(Graph([1], [2], num_nodes=3))
+        assert len(dyn) == 2
+        assert dyn[1].src[0] == 1
+
+    def test_node_overlap(self):
+        dyn = DynamicGraph()
+        dyn.append(Graph([0], [1], num_nodes=3))
+        dyn.append(Graph([0], [1], num_nodes=3))
+        dyn.append(Graph([1], [2], num_nodes=3))
+        assert dyn.node_overlap(0, 1) == 1.0
+        assert 0 < dyn.node_overlap(0, 2) < 1.0

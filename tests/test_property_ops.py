@@ -1,0 +1,203 @@
+"""Property-based tests: tensor ops agree with numpy for arbitrary shapes,
+and core invariants hold under random inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, functional as F
+from repro.tensor.ops.scattergather import segment_sum_data
+
+settings.register_profile("ops", max_examples=40, deadline=None)
+settings.load_profile("ops")
+
+floats = hnp.arrays(
+    dtype=np.float32,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=8),
+    elements=st.floats(-10, 10, width=32),
+)
+
+
+class TestElementwiseMatchesNumpy:
+    @given(floats)
+    def test_add_self(self, a):
+        np.testing.assert_allclose((Tensor(a) + Tensor(a)).data, a + a,
+                                   rtol=1e-5)
+
+    @given(floats)
+    def test_mul_scalar(self, a):
+        np.testing.assert_allclose((Tensor(a) * 3.0).data, a * 3.0, rtol=1e-5)
+
+    @given(floats)
+    def test_relu(self, a):
+        np.testing.assert_allclose(F.relu(Tensor(a)).data, np.maximum(a, 0))
+
+    @given(floats)
+    def test_tanh_bounded(self, a):
+        out = F.tanh(Tensor(a)).data
+        np.testing.assert_allclose(out, np.tanh(a), rtol=1e-4, atol=1e-6)
+        assert np.all(np.abs(out) <= 1.0 + 1e-6)
+
+    @given(floats)
+    def test_sigmoid_in_unit_interval(self, a):
+        out = F.sigmoid(Tensor(a)).data
+        assert np.all(out >= 0) and np.all(out <= 1)
+
+    @given(floats)
+    def test_exp_log_roundtrip(self, a):
+        t = Tensor(np.abs(a) + 1.0)
+        np.testing.assert_allclose(F.log(F.exp(t)).data, t.data,
+                                   rtol=1e-3, atol=1e-3)
+
+    @given(floats)
+    def test_clamp_bounds(self, a):
+        out = F.clamp(Tensor(a), -1.0, 1.0).data
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+    @given(floats)
+    def test_neg_involution(self, a):
+        np.testing.assert_allclose((-(-Tensor(a))).data, a)
+
+
+class TestReductionsMatchNumpy:
+    @given(floats)
+    def test_sum(self, a):
+        assert F.sum(Tensor(a)).item() == pytest.approx(float(a.sum()),
+                                                        rel=1e-3, abs=1e-3)
+
+    @given(floats)
+    def test_mean(self, a):
+        assert F.mean(Tensor(a)).item() == pytest.approx(float(a.mean()),
+                                                         rel=1e-3, abs=1e-3)
+
+    @given(floats)
+    def test_max_min_order(self, a):
+        assert F.max(Tensor(a)).item() >= F.min(Tensor(a)).item()
+
+    @given(floats)
+    def test_sum_axis_matches(self, a):
+        out = F.sum(Tensor(a), axis=0).data
+        np.testing.assert_allclose(out, a.sum(axis=0), rtol=1e-4, atol=1e-4)
+
+    @given(hnp.arrays(np.float32, hnp.array_shapes(min_dims=2, max_dims=2,
+                                                   min_side=1, max_side=10),
+                      elements=st.floats(-5, 5, width=32)))
+    def test_softmax_rows_sum_to_one(self, a):
+        out = F.softmax(Tensor(a), axis=-1).data
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-4)
+        assert np.all(out >= 0)
+
+    @given(hnp.arrays(np.float32, hnp.array_shapes(min_dims=2, max_dims=2,
+                                                   min_side=1, max_side=10),
+                      elements=st.floats(-5, 5, width=32)))
+    def test_log_softmax_is_log_of_softmax(self, a):
+        ls = F.log_softmax(Tensor(a), axis=-1).data
+        s = F.softmax(Tensor(a), axis=-1).data
+        np.testing.assert_allclose(ls, np.log(s + 1e-12), atol=1e-3)
+
+
+class TestMatmulProperties:
+    mats = hnp.arrays(np.float32, (4, 4), elements=st.floats(-3, 3, width=32))
+
+    @given(mats, mats)
+    def test_matches_numpy(self, a, b):
+        np.testing.assert_allclose(F.matmul(Tensor(a), Tensor(b)).data,
+                                   a @ b, rtol=1e-4, atol=1e-4)
+
+    @given(mats)
+    def test_identity_neutral(self, a):
+        eye = Tensor(np.eye(4, dtype=np.float32))
+        np.testing.assert_allclose(F.matmul(Tensor(a), eye).data, a,
+                                   rtol=1e-5, atol=1e-5)
+
+    @given(mats, mats)
+    def test_transpose_of_product(self, a, b):
+        ab_t = F.matmul(Tensor(a), Tensor(b)).T.data
+        bt_at = F.matmul(Tensor(b).T, Tensor(a).T).data
+        np.testing.assert_allclose(ab_t, bt_at, rtol=1e-4, atol=1e-4)
+
+    @given(mats)
+    def test_linear_no_bias_is_matmul_with_wt(self, a):
+        w = np.ones((3, 4), dtype=np.float32)
+        np.testing.assert_allclose(F.linear(Tensor(a), Tensor(w)).data,
+                                   a @ w.T, rtol=1e-5)
+
+
+class TestSegmentOps:
+    @given(
+        hnp.arrays(np.float32, hnp.array_shapes(min_dims=2, max_dims=2,
+                                                min_side=1, max_side=16),
+                   elements=st.floats(-4, 4, width=32)),
+        st.integers(1, 5),
+        st.integers(0, 10_000),
+    )
+    def test_segment_sum_matches_loop(self, src, segments, seed):
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, segments, size=src.shape[0])
+        fast = segment_sum_data(src, idx, segments)
+        slow = np.zeros((segments, src.shape[1]), dtype=np.float64)
+        for row, s in zip(src, idx):
+            slow[s] += row
+        np.testing.assert_allclose(fast, slow.astype(np.float32),
+                                   rtol=1e-3, atol=1e-3)
+
+    @given(st.integers(1, 40), st.integers(1, 6), st.integers(0, 10_000))
+    def test_scatter_add_conserves_mass(self, rows, segments, seed):
+        rng = np.random.default_rng(seed)
+        src = Tensor(rng.normal(size=(rows, 3)).astype(np.float32))
+        idx = rng.integers(0, segments, size=rows)
+        out = F.scatter_add(src, idx, segments)
+        assert out.data.sum() == pytest.approx(float(src.data.sum()),
+                                               abs=1e-2)
+
+    @given(st.integers(1, 30), st.integers(0, 10_000))
+    def test_index_select_then_lookup(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        table = Tensor(rng.normal(size=(rows, 4)).astype(np.float32))
+        idx = rng.integers(0, rows, size=2 * rows)
+        out = F.index_select(table, idx)
+        np.testing.assert_allclose(out.data, table.data[idx])
+
+    @given(st.integers(2, 30), st.integers(0, 10_000))
+    def test_segment_max_dominates_members(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        src = rng.normal(size=(rows, 2)).astype(np.float32)
+        idx = rng.integers(0, 3, size=rows)
+        out = F.segment_max(Tensor(src), idx, 3).data
+        for row, s in zip(src, idx):
+            assert np.all(out[s] >= row - 1e-6)
+
+
+class TestAutogradProperties:
+    @given(hnp.arrays(np.float32, (5,), elements=st.floats(-3, 3, width=32)))
+    def test_sum_gradient_is_ones(self, a):
+        t = Tensor(a, requires_grad=True)
+        F.sum(t).backward()
+        np.testing.assert_allclose(t.grad.data, 1.0)
+
+    @given(hnp.arrays(np.float32, (4,), elements=st.floats(0.125, 3, width=32)))
+    def test_linearity_of_gradient(self, a):
+        t1 = Tensor(a.copy(), requires_grad=True)
+        (F.sum(t1 * 2.0)).backward()
+        t2 = Tensor(a.copy(), requires_grad=True)
+        (F.sum(t2) * 2.0).backward()
+        np.testing.assert_allclose(t1.grad.data, t2.grad.data, rtol=1e-5)
+
+    @given(hnp.arrays(np.float32, (3, 3), elements=st.floats(-2, 2, width=32)))
+    def test_relu_grad_zero_where_negative(self, a):
+        t = Tensor(a, requires_grad=True)
+        F.sum(F.relu(t)).backward()
+        assert np.all(t.grad.data[a < 0] == 0)
+        assert np.all(t.grad.data[a > 0] == 1)
+
+    @given(st.integers(0, 10_000))
+    def test_softmax_grad_sums_to_zero(self, seed):
+        """Softmax is shift-invariant, so row gradients sum to ~0."""
+        rng = np.random.default_rng(seed)
+        t = Tensor(rng.normal(size=(2, 5)).astype(np.float32),
+                   requires_grad=True)
+        weights = Tensor(rng.normal(size=(2, 5)).astype(np.float32))
+        F.sum(F.softmax(t, axis=-1) * weights).backward()
+        np.testing.assert_allclose(t.grad.data.sum(axis=-1), 0.0, atol=1e-4)

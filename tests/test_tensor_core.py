@@ -1,0 +1,130 @@
+"""Tensor type basics: construction, dtype, devices, operator sugar."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import SimulatedGPU
+from repro.tensor import Tensor, arange, full, ones, tensor, zeros
+
+
+class TestConstruction:
+    def test_float64_downcast(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_int_dtype_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.int64))
+        assert t.dtype == np.int64
+
+    def test_from_tensor_copies_payload_reference(self):
+        a = Tensor(np.ones(3))
+        b = Tensor(a)
+        assert np.array_equal(a.data, b.data)
+
+    def test_constructors(self):
+        assert zeros((2, 3)).shape == (2, 3)
+        assert ones(4).data.sum() == 4
+        assert full((2,), 7.0).data[0] == 7.0
+        assert arange(5).size == 5
+        assert tensor([1.0, 2.0]).dtype == np.float32
+
+    def test_shape_properties(self):
+        t = zeros((2, 3, 4))
+        assert t.ndim == 3
+        assert t.size == 24
+        assert t.nbytes == 96
+        assert len(t) == 2
+
+
+class TestDeviceMovement:
+    def test_to_device_emits_h2d(self):
+        gpu = SimulatedGPU()
+        t = Tensor(np.zeros(100, dtype=np.float32))
+        moved = t.to(gpu, "payload")
+        assert moved.device is gpu
+        assert gpu.stats.h2d_bytes == 400
+
+    def test_to_same_device_is_noop(self):
+        gpu = SimulatedGPU()
+        t = Tensor(np.zeros(4), device=gpu, _skip_copy=True)
+        assert t.to(gpu) is t
+        assert gpu.stats.transfer_count == 0
+
+    def test_cpu_roundtrip(self):
+        gpu = SimulatedGPU()
+        t = Tensor(np.ones(4)).to(gpu)
+        back = t.cpu()
+        assert back.device is None
+        assert gpu.stats.d2h_bytes == 16
+
+    def test_detach_keeps_device_drops_graph(self):
+        gpu = SimulatedGPU()
+        t = Tensor(np.ones(4, dtype=np.float32), device=gpu, requires_grad=True)
+        out = (t * 2).detach()
+        assert out.device is gpu
+        assert out._ctx is None and not out.requires_grad
+
+    def test_clone_copies_data(self):
+        t = Tensor(np.ones(3, dtype=np.float32))
+        c = t.clone()
+        c.data[0] = 9
+        assert t.data[0] == 1
+
+
+class TestOperatorSugar:
+    def test_scalar_arith(self):
+        t = Tensor(np.array([2.0, 4.0], dtype=np.float32))
+        np.testing.assert_allclose((t + 1).data, [3, 5])
+        np.testing.assert_allclose((1 + t).data, [3, 5])
+        np.testing.assert_allclose((t - 1).data, [1, 3])
+        np.testing.assert_allclose((10 - t).data, [8, 6])
+        np.testing.assert_allclose((t * 3).data, [6, 12])
+        np.testing.assert_allclose((t / 2).data, [1, 2])
+        np.testing.assert_allclose((8 / t).data, [4, 2])
+        np.testing.assert_allclose((-t).data, [-2, -4])
+        np.testing.assert_allclose((t ** 2).data, [4, 16])
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2, dtype=np.float32))
+        b = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32))
+        np.testing.assert_allclose((a @ b).data, b.data)
+
+    def test_comparisons_return_raw_bool(self):
+        t = Tensor(np.array([1.0, -1.0]))
+        out = t > 0
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.bool_
+        np.testing.assert_array_equal(out, [True, False])
+        np.testing.assert_array_equal(t < 0, [False, True])
+        np.testing.assert_array_equal(t >= 1, [True, False])
+        np.testing.assert_array_equal(t <= -1, [False, True])
+
+    def test_getitem_slice(self):
+        t = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+        assert t[1:].shape == (2, 4)
+        assert t[0, 1].item() == 1.0
+
+    def test_getitem_int_array_routes_to_index_select(self):
+        t = Tensor(np.arange(6, dtype=np.float32).reshape(3, 2))
+        out = t[np.array([2, 0])]
+        np.testing.assert_allclose(out.data, [[4, 5], [0, 1]])
+
+    def test_methods_match_numpy(self):
+        t = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert t.sum().item() == 15
+        assert t.mean().item() == pytest.approx(2.5)
+        assert t.max().item() == 5
+        assert t.min().item() == 0
+        assert t.argmax() == 5
+        assert t.T.shape == (3, 2)
+        assert t.reshape(3, 2).shape == (3, 2)
+        assert t.flatten().shape == (6,)
+        assert t.unsqueeze(0).shape == (1, 2, 3)
+        assert t.unsqueeze(-1).shape == (2, 3, 1)
+        assert t.unsqueeze(0).squeeze(0).shape == (2, 3)
+
+    def test_repr_mentions_device(self):
+        gpu = SimulatedGPU()
+        t = Tensor(np.zeros(3), device=gpu, _skip_copy=True)
+        assert "cuda:0" in repr(t)
+        assert "cpu" in repr(Tensor(np.zeros(3)))

@@ -1,0 +1,81 @@
+"""Trainer and the DDP multi-GPU simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import registry
+from repro.gpu import SimulatedGPU
+from repro.train import Trainer, run_scaling_point
+from repro.train.ddp import _count_steps, _shard_batch
+
+
+class TestTrainer:
+    def test_history_and_timing(self):
+        device = SimulatedGPU()
+        workload = registry.get("TLSTM").build(device=device, scale="test")
+        trainer = Trainer(workload=workload, device=device)
+        results = trainer.run(epochs=2, seed=0)
+        assert len(results) == 2
+        assert all(r.sim_time_s > 0 for r in results)
+        assert all(r.kernels > 0 for r in results)
+
+    def test_average_skips_warmup(self):
+        device = SimulatedGPU()
+        workload = registry.get("TLSTM").build(device=device, scale="test")
+        trainer = Trainer(workload=workload, device=device)
+        trainer.run(epochs=3, seed=0)
+        avg = trainer.average_epoch_time()
+        later = [r.sim_time_s for r in trainer.history[1:]]
+        assert avg == pytest.approx(np.mean(later))
+
+
+class TestDDPHelpers:
+    def test_shard_batch_splits(self):
+        w = registry.get("DGCN").build(scale="test")
+        original = w.batch_size
+        shard = _shard_batch(w, 4)
+        assert w.batch_size == max(1, original // 4)
+        assert shard is not None and shard.size <= w.dataset.train_idx.size
+
+    def test_steps_invariant_under_sharding(self):
+        """Strong scaling: global optimizer steps do not grow with N."""
+        one = registry.get("DGCN").build(scale="test")
+        steps_1 = _count_steps(one, 1)
+        four = registry.get("DGCN").build(scale="test")
+        _shard_batch(four, 4)
+        steps_4 = _count_steps(four, 4)
+        assert abs(steps_4 - steps_1) <= 1
+
+    def test_batches_per_epoch_workloads_not_index_sharded(self):
+        w = registry.get("STGCN").build(scale="test")
+        assert _shard_batch(w, 2) is None
+
+
+class TestScalingPoints:
+    def test_arga_excluded(self):
+        with pytest.raises(ValueError):
+            run_scaling_point("ARGA", 2, scale="test")
+
+    def test_single_gpu_no_allreduce(self):
+        point = run_scaling_point("TLSTM", 1, scale="test")
+        assert point.allreduce_time_s == 0.0
+        assert point.epoch_time_s > 0
+
+    def test_multi_gpu_pays_allreduce(self):
+        point = run_scaling_point("TLSTM", 4, scale="test")
+        assert point.allreduce_time_s > 0
+        assert point.grad_bytes > 0
+
+    def test_replicate_mode_does_not_shrink_compute(self):
+        """PSAGE: data replication keeps per-device compute ~constant and
+        adds contention, so multi-GPU is slower (the paper's Figure 9)."""
+        one = run_scaling_point("PSAGE-MVL", 1, scale="test", epochs=1)
+        four = run_scaling_point("PSAGE-MVL", 4, scale="test", epochs=1)
+        assert four.epoch_time_s > one.epoch_time_s * 0.95
+
+    def test_tlstm_does_not_scale(self):
+        """Tiny serialized kernels: the paper's flat TLSTM bars."""
+        one = run_scaling_point("TLSTM", 1, scale="test", epochs=1)
+        four = run_scaling_point("TLSTM", 4, scale="test", epochs=1)
+        speedup = one.epoch_time_s / four.epoch_time_s
+        assert speedup < 1.5

@@ -10,6 +10,13 @@ import pytest
 from repro import GNNMark
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ profiles the full suite — mark it slow
+    so `pytest -m 'not slow'` (the default addopts) skips it."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def mark() -> GNNMark:
     return GNNMark(scale="profile", seed=0)

@@ -8,6 +8,8 @@ Usage::
     python -m repro all                    # everything
     python -m repro profile TLSTM          # one workload, nvprof-style
     python -m repro memory                 # device-memory occupancy table
+    python -m repro golden                 # diff kernel streams vs snapshots
+    python -m repro golden --update        # regenerate tests/golden/*.json
 """
 
 from __future__ import annotations
@@ -29,9 +31,10 @@ FIGURES = {
 }
 
 
-def _print_profile(mark: GNNMark, key: str, epochs: int) -> None:
+def _print_profile(mark: GNNMark, key: str, epochs: int,
+                   strict: bool = False) -> None:
     profile = profile_workload(key, scale=mark.scale, epochs=epochs,
-                               seed=mark.seed)
+                               seed=mark.seed, strict=strict)
     print(f"== {key} ({epochs} epoch(s), {profile.launch_count} kernels,"
           f" {profile.sim_time_s * 1e3:.2f} ms simulated)")
     for stats in profile.kernels.top_kernels(10):
@@ -53,6 +56,40 @@ def _print_memory(mark: GNNMark) -> None:
               f"{mem['data_fraction'] * 100:>7.1f}%")
 
 
+def _run_golden(workload: str | None, update: bool) -> int:
+    from .core import registry
+    from .testing import golden
+
+    keys = [workload] if workload else list(registry.WORKLOAD_KEYS)
+    unknown = [k for k in keys if k not in registry.WORKLOAD_KEYS]
+    if unknown:
+        print(f"unknown workload(s) {unknown}; have {sorted(registry.WORKLOAD_KEYS)}")
+        return 2
+    if update:
+        for path in golden.update_goldens(keys):
+            print(f"wrote {path}")
+        return 0
+    failed = 0
+    for key in keys:
+        try:
+            diffs = golden.verify_golden(key)
+        except FileNotFoundError as exc:
+            print(f"{key}: MISSING ({exc})")
+            failed += 1
+            continue
+        if diffs:
+            failed += 1
+            print(f"{key}: DIFFERS")
+            for line in diffs:
+                print(f"  {line}")
+        else:
+            print(f"{key}: ok")
+    if failed:
+        print(f"{failed} workload(s) diverged; regenerate intentionally with "
+              f"`python -m repro golden --update`")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -60,15 +97,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("command",
                         choices=["table1", *FIGURES, "fig9", "all",
-                                 "profile", "memory"],
+                                 "profile", "memory", "golden"],
                         help="which artifact to regenerate")
     parser.add_argument("workload", nargs="?",
-                        help="workload key (for the 'profile' command)")
+                        help="workload key (for 'profile' and 'golden')")
     parser.add_argument("--epochs", type=int, default=1)
     parser.add_argument("--scale", default="profile",
                         choices=["test", "profile", "scaling"])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--update", action="store_true",
+                        help="regenerate golden snapshots instead of diffing")
+    parser.add_argument("--strict", action="store_true",
+                        help="validate GPU-model invariants on every record "
+                             "(the 'profile' command)")
     args = parser.parse_args(argv)
+
+    if args.command == "golden":
+        return _run_golden(args.workload, args.update)
 
     mark = GNNMark(scale=args.scale, seed=args.seed)
 
@@ -78,7 +123,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "profile":
         if not args.workload:
             parser.error("profile requires a workload key")
-        _print_profile(mark, args.workload, args.epochs)
+        _print_profile(mark, args.workload, args.epochs, strict=args.strict)
         return 0
     if args.command == "memory":
         _print_memory(mark)

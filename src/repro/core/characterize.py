@@ -84,19 +84,34 @@ def profile_workload(
     epochs: int = 1,
     seed: int = 0,
     sim: Optional[SimulationConfig] = None,
+    strict: bool = False,
 ) -> WorkloadProfile:
-    """Train ``epochs`` of a workload on a freshly instrumented device."""
+    """Train ``epochs`` of a workload on a freshly instrumented device.
+
+    With ``strict=True`` every launch and transfer is additionally validated
+    against the GPU model's physical-consistency invariants
+    (:mod:`repro.testing.invariants`), raising on the first violation.
+    """
     spec = registry.get(key)
     device = SimulatedGPU(sim)
     # Build first, then instrument: the paper profiles *training*, so one-off
     # setup work (weight H2D copies, dataset staging) is excluded.
     workload = spec.build(device=device, scale=scale)
     device.reset()
+    checker = None
+    if strict:
+        from ..testing.invariants import InvariantChecker
+
+        checker = InvariantChecker().attach(device)
     kernels = KernelProfiler().attach(device)
     sparsity = SparsityTracker().attach(device)
     divergence = DivergenceInstrument().attach(device)
     trainer = Trainer(workload=workload, device=device)
-    results = trainer.run(epochs=epochs, seed=seed)
+    try:
+        results = trainer.run(epochs=epochs, seed=seed)
+    finally:
+        if checker is not None:
+            checker.detach()
 
     kernels.detach()
     sparsity.detach()
@@ -142,6 +157,7 @@ def profile_suite(
     scale: str = "profile",
     epochs: int = 1,
     seed: int = 0,
+    strict: bool = False,
 ) -> SuiteProfile:
     """Profile the whole suite (Figures 2-8 derive from this)."""
     if keys is None:
@@ -149,7 +165,7 @@ def profile_suite(
     suite = SuiteProfile()
     for key in keys:
         suite.profiles[key] = profile_workload(key, scale=scale, epochs=epochs,
-                                               seed=seed)
+                                               seed=seed, strict=strict)
     return suite
 
 

@@ -10,6 +10,7 @@ sparsity-friendly in the paper's Figure 7.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -49,7 +50,9 @@ def load_citation(name: str = "cora", seed: int = 0) -> CitationDataset:
     if name not in _SPECS:
         raise KeyError(f"unknown citation dataset {name!r}; have {sorted(_SPECS)}")
     nodes, feat_dim, classes, bag, scale = _SPECS[name]
-    rng = np.random.default_rng(seed + hash(name) % 65536)
+    # crc32, not hash(): python string hashing is salted per process, which
+    # would make the generated graph differ between runs of the same seed.
+    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % 65536)
 
     sizes = [nodes // classes] * classes
     sizes[-1] += nodes - sum(sizes)

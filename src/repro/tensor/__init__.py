@@ -12,7 +12,7 @@ from . import functional
 from .autograd import Function, current_phase, is_grad_enabled, no_grad, phase
 from .ops.spmm import SparseTensor
 from .random import manual_seed
-from .tensor import Tensor, arange, full, ones, tensor, zeros
+from .tensor import Tensor, arange, float64_mode, full, ones, tensor, zeros
 
 __all__ = [
     "Function",
@@ -20,6 +20,7 @@ __all__ = [
     "Tensor",
     "arange",
     "current_phase",
+    "float64_mode",
     "full",
     "functional",
     "is_grad_enabled",

@@ -165,8 +165,12 @@ def backward(root: "Tensor", grad: Optional[np.ndarray] = None) -> None:
             if node._ctx is None:
                 if node.requires_grad:
                     if node.grad is None:
+                        # dtype passed explicitly: the grad must keep the
+                        # leaf's precision even when float64 would otherwise
+                        # be downcast.
                         node.grad = Tensor(
-                            node_grad.copy(), device=node.device, _skip_copy=True
+                            node_grad.copy(), device=node.device,
+                            dtype=node_grad.dtype, _skip_copy=True
                         )
                     else:
                         ops_base.emit_accumulate(node.device, node_grad)

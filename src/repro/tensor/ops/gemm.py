@@ -42,13 +42,14 @@ class MatMul(Function):
         grad_b = np.swapaxes(ad, -1, -2) @ grad
         launch_gemm(ctx.device, "sgemm_nt_dgrad", m, n, k, batch)
         launch_gemm(ctx.device, "sgemm_tn_wgrad", k, m, n, batch)
-        # Reduce broadcast batch dims back to the parameter shapes.
+        # Reduce broadcast batch dims back to the parameter shapes (both
+        # extra leading dims and interior size-1 batch dims).
+        from .base import unbroadcast
+
         if grad_a.shape != ad.shape:
-            extra = grad_a.ndim - ad.ndim
-            grad_a = grad_a.sum(axis=tuple(range(extra))) if extra else grad_a
+            grad_a = unbroadcast(grad_a, ad.shape, ctx.device)
         if grad_b.shape != bd.shape:
-            extra = grad_b.ndim - bd.ndim
-            grad_b = grad_b.sum(axis=tuple(range(extra))) if extra else grad_b
+            grad_b = unbroadcast(grad_b, bd.shape, ctx.device)
         return grad_a, grad_b
 
 

@@ -79,7 +79,7 @@ class NLLLoss(Function):
         shape = ctx.extras["shape"]
         cols = shape[-1]
         n = td.size
-        g = np.zeros((n, cols), dtype=np.float32)
+        g = np.zeros((n, cols), dtype=np.asarray(grad).dtype)
         g[np.arange(n), td] = -np.asarray(grad) / n
         launch_elementwise(ctx.device, "ew_nll_bwd", int(g.size), 1)
         return (g.reshape(shape),)

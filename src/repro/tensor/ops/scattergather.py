@@ -127,7 +127,11 @@ class Gather(Function):
         axis = ctx.extras["axis"]
         shape = ctx.extras["shape"]
         out = np.zeros(shape, dtype=grad.dtype)
-        np.put_along_axis(out, idx, grad, axis=axis)  # unique idx per slot assumed
+        # Accumulate (not overwrite): duplicate indices along the gather axis
+        # must each contribute, like the atomic adds of the real kernel.
+        grids = list(np.indices(idx.shape))
+        grids[axis] = idx
+        np.add.at(out, tuple(grids), grad)
         launch_scatter(ctx.device, "gather_dim_bwd", idx.reshape(-1), 1)
         return (out,)
 

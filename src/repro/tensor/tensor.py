@@ -9,6 +9,7 @@ transfer-sparsity instrumentation point.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -17,6 +18,23 @@ from ..gpu.device import SimulatedGPU
 from . import autograd
 
 Scalar = Union[int, float, bool]
+
+#: when True, float64 payloads are kept instead of being downcast to float32.
+#: Training always runs fp32 (the paper's precision); the gradcheck harness
+#: flips this so central-difference numerics run at full double precision.
+_keep_float64 = False
+
+
+@contextlib.contextmanager
+def float64_mode():
+    """Keep float64 payloads at full precision (numerical-checking mode)."""
+    global _keep_float64
+    prev = _keep_float64
+    _keep_float64 = True
+    try:
+        yield
+    finally:
+        _keep_float64 = prev
 
 
 class Tensor:
@@ -36,7 +54,7 @@ class Tensor:
         arr = np.asarray(data)
         if dtype is not None:
             arr = arr.astype(dtype, copy=False)
-        elif arr.dtype == np.float64:
+        elif arr.dtype == np.float64 and not _keep_float64:
             arr = arr.astype(np.float32)
         if not _skip_copy and not arr.flags.owndata:
             arr = arr.copy()

@@ -1,0 +1,61 @@
+"""Differential correctness harness for the reproduction.
+
+Three pillars, each mechanically checkable:
+
+* :mod:`.gradcheck` — every ``Function.backward`` against fp64 central
+  differences;
+* :mod:`.golden` — every registry workload's kernel stream against a
+  committed JSON fingerprint (``python -m repro golden --update``);
+* :mod:`.invariants` — every simulated launch/transfer against the GPU
+  model's physical-consistency invariants ("strict mode").
+"""
+
+from .gradcheck import (
+    GradcheckError,
+    GradcheckResult,
+    gradcheck,
+    gradcheck_module,
+)
+from .golden import (
+    StreamRecorder,
+    compare_fingerprints,
+    fingerprint_workload,
+    golden_dir,
+    golden_path,
+    load_golden,
+    save_golden,
+    update_goldens,
+    verify_golden,
+)
+from .invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    check_descriptor,
+    check_launch,
+    check_stalls,
+    check_transfer,
+    strict_mode,
+)
+
+__all__ = [
+    "GradcheckError",
+    "GradcheckResult",
+    "InvariantChecker",
+    "InvariantViolation",
+    "StreamRecorder",
+    "check_descriptor",
+    "check_launch",
+    "check_stalls",
+    "check_transfer",
+    "compare_fingerprints",
+    "fingerprint_workload",
+    "golden_dir",
+    "golden_path",
+    "gradcheck",
+    "gradcheck_module",
+    "load_golden",
+    "save_golden",
+    "strict_mode",
+    "update_goldens",
+    "verify_golden",
+]

@@ -1,0 +1,247 @@
+"""Golden kernel-stream fingerprints for every registry workload.
+
+The op stream a workload emits is *emergent* from its forward/backward math,
+so a refactor that silently changes the math changes the stream.  This module
+snapshots a deterministic fingerprint of each workload's one-epoch kernel
+stream — launch counts per op class and phase, closed-form instruction/byte
+totals, transfer totals, training losses, and a SHA-256 digest of the full
+ordered stream — as JSON under ``tests/golden/``.
+
+Regenerate after an *intentional* stream change with::
+
+    PYTHONPATH=src python -m repro golden --update
+
+Everything hashed is derived from tensor shapes, graph structure and seeded
+RNG draws (never from float compute results), so fingerprints are bit-stable
+across machines; training losses ARE compute results and are therefore
+compared with a tolerance instead of entering the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..core import registry
+from ..gpu import SimulatedGPU
+from ..gpu.kernel import KernelLaunch, TransferRecord
+from ..tensor import manual_seed
+from ..train.trainer import Trainer
+
+FINGERPRINT_VERSION = 1
+
+#: repo-root tests/golden/ (this file lives at src/repro/testing/golden.py)
+GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def golden_dir() -> Path:
+    """Snapshot directory (override with ``REPRO_GOLDEN_DIR``)."""
+    override = os.environ.get("REPRO_GOLDEN_DIR")
+    return Path(override) if override else GOLDEN_DIR
+
+
+class StreamRecorder:
+    """Device listener that keeps the full ordered launch/transfer stream."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+        self._device: Optional[SimulatedGPU] = None
+
+    def attach(self, device: SimulatedGPU) -> "StreamRecorder":
+        device.add_launch_listener(self.on_launch)
+        device.add_transfer_listener(self.on_transfer)
+        self._device = device
+        return self
+
+    def detach(self) -> None:
+        if self._device is not None:
+            self._device.remove_launch_listener(self.on_launch)
+            self._device.remove_transfer_listener(self.on_transfer)
+            self._device = None
+
+    def on_launch(self, launch: KernelLaunch) -> None:
+        d = launch.descriptor
+        self.events.append((
+            "K", d.name, d.op_class.value, d.phase, d.threads, d.block_size,
+            d.fp32_flops, d.int32_iops, d.ldst_instrs, d.control_instrs,
+            d.bytes_read, d.bytes_written,
+        ))
+
+    def on_transfer(self, record: TransferRecord) -> None:
+        # num_zeros is intentionally absent: d2h payloads are compute results,
+        # and a borderline value flipping to exact zero must not change the
+        # structural digest.
+        self.events.append((
+            "T", record.direction, record.label, record.nbytes,
+            record.num_values, record.wire_bytes,
+        ))
+
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        for event in self.events:
+            h.update(repr(event).encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+
+def fingerprint_workload(
+    key: str,
+    scale: str = "test",
+    epochs: int = 1,
+    seed: int = 0,
+) -> dict:
+    """Train ``epochs`` of a workload and fingerprint its kernel stream.
+
+    Reseeds the framework RNG before building so parameter initialization —
+    and hence any data-dependent control flow — is reproducible across
+    processes.
+    """
+    spec = registry.get(key)
+    manual_seed(seed)
+    device = SimulatedGPU()
+    workload = spec.build(device=device, scale=scale)
+    device.reset()
+    recorder = StreamRecorder().attach(device)
+    results = Trainer(workload=workload, device=device).run(epochs=epochs,
+                                                            seed=seed)
+    recorder.detach()
+
+    launches = [e for e in recorder.events if e[0] == "K"]
+    transfers = [e for e in recorder.events if e[0] == "T"]
+    op_hist: dict[str, int] = {}
+    phase_hist: dict[str, int] = {}
+    totals = {"fp32_flops": 0.0, "int32_iops": 0.0, "ldst_instrs": 0.0,
+              "control_instrs": 0.0, "bytes_read": 0.0, "bytes_written": 0.0}
+    for (_, _, op_class, phase, _, _, flops, iops, ldst, control,
+         br, bw) in launches:
+        op_hist[op_class] = op_hist.get(op_class, 0) + 1
+        phase_hist[phase] = phase_hist.get(phase, 0) + 1
+        totals["fp32_flops"] += flops
+        totals["int32_iops"] += iops
+        totals["ldst_instrs"] += ldst
+        totals["control_instrs"] += control
+        totals["bytes_read"] += br
+        totals["bytes_written"] += bw
+
+    transfer_totals = {"h2d_bytes": 0, "d2h_bytes": 0, "wire_bytes": 0}
+    for _, direction, _, nbytes, _, wire in transfers:
+        transfer_totals[f"{direction}_bytes"] += nbytes
+        transfer_totals["wire_bytes"] += wire
+
+    return {
+        "version": FINGERPRINT_VERSION,
+        "workload": key,
+        "scale": scale,
+        "epochs": epochs,
+        "seed": seed,
+        "launch_count": len(launches),
+        "transfer_count": len(transfers),
+        "op_class_launches": dict(sorted(op_hist.items())),
+        "phase_launches": dict(sorted(phase_hist.items())),
+        "totals": totals,
+        "transfer_totals": transfer_totals,
+        "losses": [float(r.metrics.get("loss", 0.0)) for r in results],
+        "stream_digest": recorder.digest(),
+    }
+
+
+def golden_path(key: str) -> Path:
+    return golden_dir() / f"{key}.json"
+
+
+def load_golden(key: str) -> dict:
+    path = golden_path(key)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no golden snapshot for {key!r} at {path}; generate it with "
+            f"`python -m repro golden --update`"
+        )
+    return json.loads(path.read_text())
+
+
+def save_golden(fingerprint: dict) -> Path:
+    path = golden_path(fingerprint["workload"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(fingerprint, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_fingerprints(expected: dict, actual: dict) -> list[str]:
+    """Human-readable list of differences (empty when streams match).
+
+    Structural quantities (counts, histograms, digest) compare exactly;
+    instruction/byte totals allow float-accumulation noise; losses are
+    compute results and get a loose fp32 tolerance.
+    """
+    diffs: list[str] = []
+
+    def exact(field: str) -> None:
+        if expected.get(field) != actual.get(field):
+            diffs.append(f"{field}: expected {expected.get(field)!r}, "
+                         f"got {actual.get(field)!r}")
+
+    for field in ("version", "workload", "scale", "epochs", "seed",
+                  "launch_count", "transfer_count"):
+        exact(field)
+
+    for field in ("op_class_launches", "phase_launches"):
+        exp, act = expected.get(field, {}), actual.get(field, {})
+        for name in sorted(set(exp) | set(act)):
+            if exp.get(name, 0) != act.get(name, 0):
+                diffs.append(f"{field}[{name}]: expected {exp.get(name, 0)}, "
+                             f"got {act.get(name, 0)}")
+
+    for field, rtol in (("totals", 1e-9), ("transfer_totals", 1e-9)):
+        exp, act = expected.get(field, {}), actual.get(field, {})
+        for name in sorted(set(exp) | set(act)):
+            e, a = exp.get(name, 0.0), act.get(name, 0.0)
+            if not np.isclose(e, a, rtol=rtol, atol=0.0):
+                diffs.append(f"{field}[{name}]: expected {e!r}, got {a!r}")
+
+    exp_losses = expected.get("losses", [])
+    act_losses = actual.get("losses", [])
+    if len(exp_losses) != len(act_losses):
+        diffs.append(f"losses: expected {len(exp_losses)} epochs, "
+                     f"got {len(act_losses)}")
+    else:
+        for i, (e, a) in enumerate(zip(exp_losses, act_losses)):
+            if not np.isclose(e, a, rtol=1e-4, atol=1e-6):
+                diffs.append(f"losses[{i}]: expected {e!r}, got {a!r}")
+
+    if expected.get("stream_digest") != actual.get("stream_digest"):
+        diffs.append(
+            f"stream_digest: expected {expected.get('stream_digest')}, "
+            f"got {actual.get('stream_digest')} — the ordered kernel/transfer "
+            f"stream changed even though the summary stats above "
+            f"{'also differ' if diffs else 'still match'}"
+        )
+    return diffs
+
+
+def verify_golden(key: str, scale: str = "test", epochs: int = 1,
+                  seed: int = 0) -> list[str]:
+    """Diff a fresh fingerprint against the committed snapshot."""
+    expected = load_golden(key)
+    actual = fingerprint_workload(
+        key,
+        scale=expected.get("scale", scale),
+        epochs=expected.get("epochs", epochs),
+        seed=expected.get("seed", seed),
+    )
+    return compare_fingerprints(expected, actual)
+
+
+def update_goldens(keys: Optional[list[str]] = None, scale: str = "test",
+                   epochs: int = 1, seed: int = 0) -> list[Path]:
+    """Regenerate snapshots for ``keys`` (default: the whole registry)."""
+    paths = []
+    for key in keys or list(registry.WORKLOAD_KEYS):
+        fingerprint = fingerprint_workload(key, scale=scale, epochs=epochs,
+                                           seed=seed)
+        paths.append(save_golden(fingerprint))
+    return paths

@@ -1,0 +1,230 @@
+"""Every differentiable op and layer against fp64 central differences.
+
+Inputs are tiny (tens of elements) and deliberately kept away from the
+non-smooth points of each op — |x| bounded away from 0 for relu/abs, no
+ties for max-style reductions, bases positive for fractional powers — so
+the numerical derivative is well-defined everywhere we probe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.sampling import SampledBlock
+from repro.models import layers
+from repro.tensor import SparseTensor, Tensor, functional as F
+from repro.tensor.ops.elementwise import FusedLSTMPointwise
+from repro.testing import gradcheck, gradcheck_module
+
+
+def t(shape, seed=0, scale=1.0, offset=0.0, kink=0.0):
+    """A float32 tensor with |value - offset| kept >= kink."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(shape) * scale
+    if kink:
+        data = np.where(np.abs(data) < kink, np.sign(data) * kink + data, data)
+    return Tensor((data + offset).astype(np.float32))
+
+
+def _csr(rows=5, cols=4, seed=3, weighted=True):
+    rng = np.random.default_rng(seed)
+    r = rng.integers(0, rows, size=9)
+    c = rng.integers(0, cols, size=9)
+    v = rng.uniform(0.5, 1.5, size=9).astype(np.float32) if weighted else None
+    return SparseTensor.from_edges(r, c, v, (rows, cols))
+
+
+def _lstm_inputs():
+    return [t((2, 12), seed=5, scale=0.8), t((2, 3), seed=6, scale=0.8)]
+
+
+def _clamp_input():
+    # keep every value > 0.08 away from the clamp bounds at +-0.6
+    rng = np.random.default_rng(9)
+    data = rng.uniform(-1.0, 1.0, size=(3, 4))
+    data = np.where(np.abs(np.abs(data) - 0.6) < 0.08,
+                    np.sign(data) * 0.3, data)
+    return Tensor(data.astype(np.float32))
+
+
+OP_CASES = [
+    # -- elementwise binary -------------------------------------------------
+    ("add", lambda: (F.add, [t((3, 4), 0), t((3, 4), 1)])),
+    ("add_broadcast", lambda: (F.add, [t((3, 1, 4), 0), t((2, 4), 1)])),
+    ("sub", lambda: (F.sub, [t((3, 4), 0), t((3, 4), 1)])),
+    ("mul", lambda: (F.mul, [t((3, 4), 0), t((3, 4), 1)])),
+    ("mul_broadcast", lambda: (F.mul, [t((2, 3, 4), 0), t((4,), 1)])),
+    ("div", lambda: (F.div, [t((3, 4), 0), t((3, 4), 1, offset=2.0)])),
+    ("maximum", lambda: (F.maximum, [t((3, 4), 0), t((3, 4), 1)])),
+    # -- elementwise unary --------------------------------------------------
+    ("neg", lambda: (F.neg, [t((3, 4), 0)])),
+    ("exp", lambda: (F.exp, [t((3, 4), 0, scale=0.5)])),
+    ("log", lambda: (F.log, [t((3, 4), 0, scale=0.3, offset=1.5)])),
+    ("sqrt", lambda: (F.sqrt, [t((3, 4), 0, scale=0.3, offset=1.5)])),
+    ("tanh", lambda: (F.tanh, [t((3, 4), 0)])),
+    ("sigmoid", lambda: (F.sigmoid, [t((3, 4), 0)])),
+    ("relu", lambda: (F.relu, [t((3, 4), 0, kink=0.1)])),
+    ("leaky_relu", lambda: (lambda a: F.leaky_relu(a, 0.2),
+                            [t((3, 4), 0, kink=0.1)])),
+    ("prelu", lambda: (F.prelu, [t((3, 4), 0, kink=0.1),
+                                 t((1,), 1, offset=0.25)])),
+    ("abs", lambda: (F.abs, [t((3, 4), 0, kink=0.1)])),
+    ("pow_cubed", lambda: (lambda a: F.pow(a, 3.0), [t((3, 4), 0)])),
+    ("pow_frac", lambda: (lambda a: F.pow(a, 1.5),
+                          [t((3, 4), 0, scale=0.3, offset=1.5)])),
+    ("clamp", lambda: (lambda a: F.clamp(a, -0.6, 0.6), [_clamp_input()])),
+    ("where", lambda: (lambda a, b: F.where(
+        np.arange(12).reshape(3, 4) % 2 == 0, a, b),
+        [t((3, 4), 0), t((3, 4), 1)])),
+    ("fused_lstm", lambda: (FusedLSTMPointwise.apply, _lstm_inputs())),
+    # -- dense math ---------------------------------------------------------
+    ("matmul", lambda: (F.matmul, [t((3, 4), 0), t((4, 2), 1)])),
+    ("matmul_batched", lambda: (F.matmul, [t((2, 3, 4), 0), t((2, 4, 2), 1)])),
+    ("matmul_broadcast", lambda: (F.matmul,
+                                  [t((1, 3, 4), 0), t((5, 4, 2), 1)])),
+    ("linear", lambda: (F.linear, [t((3, 4), 0), t((5, 4), 1)])),
+    ("linear_bias", lambda: (F.linear,
+                             [t((3, 4), 0), t((5, 4), 1), t((5,), 2)])),
+    ("conv2d", lambda: (F.conv2d, [t((1, 2, 5, 5), 0), t((3, 2, 3, 3), 1)])),
+    ("conv2d_stride_pad_bias", lambda: (
+        lambda x, w, b: F.conv2d(x, w, b, stride=2, padding=1),
+        [t((2, 2, 5, 5), 0), t((3, 2, 3, 3), 1), t((3,), 2)])),
+    ("spmm", lambda: (lambda x: F.spmm(_csr(), x), [t((4, 3), 0)])),
+    # -- irregular data movement -------------------------------------------
+    ("index_select_dup", lambda: (
+        lambda x: F.index_select(x, np.array([0, 2, 2, 1, 0])),
+        [t((4, 3), 0)])),
+    ("gather_dup", lambda: (
+        lambda x: F.gather(x, np.array([[0, 0, 1], [0, 2, 1]]), 0),
+        [t((4, 3), 0)])),
+    ("scatter_add", lambda: (
+        lambda x: F.scatter_add(x, np.array([0, 2, 1, 2, 2]), 3),
+        [t((5, 3), 0)])),
+    ("segment_mean", lambda: (
+        lambda x: F.segment_mean(x, np.array([0, 2, 1, 2, 2]), 4),
+        [t((5, 3), 0)])),
+    ("segment_max", lambda: (
+        lambda x: F.segment_max(x, np.array([0, 2, 1, 2, 2]), 3),
+        [t((5, 3), 0)])),
+    ("embedding_dup", lambda: (
+        lambda w: F.embedding(w, np.array([[0, 3, 3], [1, 0, 2]])),
+        [t((5, 3), 0)])),
+    # -- softmax / normalization -------------------------------------------
+    ("softmax", lambda: (F.softmax, [t((3, 5), 0)])),
+    ("softmax_axis0", lambda: (lambda a: F.softmax(a, axis=0),
+                               [t((3, 5), 0)])),
+    ("log_softmax", lambda: (F.log_softmax, [t((3, 5), 0)])),
+    ("batch_norm", lambda: (F.batch_norm,
+                            [t((4, 3, 2), 0), t((3,), 1, offset=1.0),
+                             t((3,), 2)])),
+    ("layer_norm", lambda: (F.layer_norm,
+                            [t((4, 6), 0), t((6,), 1, offset=1.0),
+                             t((6,), 2)])),
+    # -- reductions ---------------------------------------------------------
+    ("sum", lambda: (F.sum, [t((3, 4), 0)])),
+    ("sum_axis_keepdims", lambda: (
+        lambda a: F.sum(a, axis=1, keepdims=True), [t((3, 4), 0)])),
+    ("mean_axis", lambda: (lambda a: F.mean(a, axis=0), [t((3, 4), 0)])),
+    ("max_axis", lambda: (lambda a: F.max(a, axis=-1), [t((3, 4), 0)])),
+    ("min", lambda: (F.min, [t((3, 4), 0)])),
+    # -- shape --------------------------------------------------------------
+    ("reshape", lambda: (lambda a: a.reshape(4, 3), [t((3, 4), 0)])),
+    ("permute", lambda: (lambda a: a.permute(2, 0, 1), [t((2, 3, 4), 0)])),
+    ("cat", lambda: (lambda a, b: F.cat([a, b], axis=1),
+                     [t((3, 2), 0), t((3, 4), 1)])),
+    ("stack", lambda: (lambda a, b: F.stack([a, b], axis=0),
+                       [t((3, 4), 0), t((3, 4), 1)])),
+    ("slice", lambda: (lambda a: a[0:2, 1:3], [t((3, 4), 0)])),
+    ("pad2d", lambda: (lambda a: F.pad2d(a, (1, 2, 0, 1)),
+                       [t((1, 2, 3, 3), 0)])),
+    # -- losses -------------------------------------------------------------
+    ("cross_entropy", lambda: (
+        lambda x: F.cross_entropy(x, np.array([0, 2, 1])), [t((3, 4), 0)])),
+    ("nll_loss", lambda: (
+        lambda x: F.nll_loss(F.log_softmax(x), np.array([0, 2, 1])),
+        [t((3, 4), 0)])),
+    ("bce_with_logits", lambda: (
+        lambda x: F.binary_cross_entropy_with_logits(
+            x, (np.arange(12).reshape(3, 4) % 2).astype(np.float32)),
+        [t((3, 4), 0)])),
+    ("bce_pos_weight", lambda: (
+        lambda x: F.binary_cross_entropy_with_logits(
+            x, (np.arange(12).reshape(3, 4) % 2).astype(np.float32),
+            pos_weight=3.0),
+        [t((3, 4), 0)])),
+    ("mse_loss", lambda: (
+        lambda x: F.mse_loss(x, np.zeros((3, 4), dtype=np.float32)),
+        [t((3, 4), 0)])),
+    ("margin_ranking_loss", lambda: (
+        lambda p, n: F.margin_ranking_loss(p, n, margin=0.5),
+        [t((6,), 0, offset=1.0), t((6,), 1, offset=-1.0)])),
+]
+
+
+@pytest.mark.parametrize("name,case", OP_CASES, ids=[n for n, _ in OP_CASES])
+def test_op_gradients(name, case):
+    fn, inputs = case()
+    result = gradcheck(fn, inputs)
+    assert result.ok, result.report()
+
+
+# -- layers -------------------------------------------------------------------
+_EDGE_SRC = np.array([0, 1, 2, 3, 4, 0, 2])
+_EDGE_DST = np.array([1, 0, 3, 2, 0, 4, 1])
+
+
+def _block(weighted):
+    weight = (np.linspace(0.5, 1.5, _EDGE_SRC.size).astype(np.float32)
+              if weighted else None)
+    return SampledBlock(
+        src_nodes=np.arange(5),
+        dst_nodes=np.arange(3),
+        edge_src=_EDGE_SRC % 5,
+        edge_dst=_EDGE_DST % 3,
+        edge_weight=weight,
+    )
+
+
+LAYER_CASES = [
+    ("gcn_conv", lambda: (layers.GCNConv(3, 4),
+                          [_csr(5, 5, seed=7), t((5, 3), 0)])),
+    ("gcn_conv_dynamic", lambda: (layers.GCNConv(3, 4, dynamic_norm=True),
+                                  [_csr(5, 5, seed=7), t((5, 3), 0)])),
+    ("cheb_graph_conv", lambda: (layers.ChebGraphConv(3, 4, k=3),
+                                 [_csr(5, 5, seed=8), t((5, 3), 0)])),
+    ("sage_conv", lambda: (layers.SAGEConv(3, 4),
+                           [_block(weighted=False), t((5, 3), 0)])),
+    ("sage_conv_weighted", lambda: (layers.SAGEConv(3, 4),
+                                    [_block(weighted=True), t((5, 3), 0)])),
+    ("gin_conv", lambda: (layers.GINConv(3, 4),
+                          [t((5, 3), 0), _EDGE_SRC % 5, _EDGE_DST % 5])),
+    # positive features keep GENConv's relu'd messages distinct, so its
+    # internal segment_max sees no ties (where the subgradient is ambiguous)
+    ("gen_conv", lambda: (layers.GENConv(3),
+                          [t((5, 3), 0, scale=0.4, offset=2.0),
+                           _EDGE_SRC % 5, _EDGE_DST % 5])),
+    ("inner_product_decoder", lambda: (layers.InnerProductDecoder(dropout=0.0),
+                                       [t((4, 3), 0)])),
+    ("mlp_readout", lambda: (layers.MLPReadout(3, 2),
+                             [t((5, 3), 0), np.array([0, 1, 1, 0, 2]), 3])),
+]
+
+
+@pytest.mark.parametrize("name,case", LAYER_CASES,
+                         ids=[n for n, _ in LAYER_CASES])
+def test_layer_gradients(name, case):
+    module, args = case()
+    result = gradcheck_module(module, args)
+    assert result.ok, result.report()
+
+
+@pytest.mark.parametrize("reduce", ["sum", "mean", "max"])
+def test_gather_scatter_gradients(reduce):
+    x = t((5, 3), 0)
+    result = gradcheck(
+        lambda v: layers.gather_scatter(v, _EDGE_SRC % 5, _EDGE_DST % 4, 4,
+                                        reduce=reduce),
+        [x],
+    )
+    assert result.ok, result.report()

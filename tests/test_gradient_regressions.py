@@ -1,0 +1,49 @@
+"""Pinned regressions for gradient bugs the gradcheck harness surfaced."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, functional as F
+
+
+def test_gather_backward_accumulates_duplicate_indices():
+    # Gather.backward used np.put_along_axis, which OVERWRITES when the same
+    # source slot is gathered twice; contributions must accumulate.
+    x = Tensor(np.ones((3, 2), dtype=np.float32), requires_grad=True)
+    idx = np.array([[0, 1], [0, 1], [0, 2]])
+    out = F.gather(x, idx, 0)
+    out.backward(np.ones_like(out.data))
+    expected = np.zeros((3, 2))
+    np.add.at(expected, (idx, np.broadcast_to([0, 1], idx.shape)), 1.0)
+    np.testing.assert_allclose(x.grad.data, expected)
+    # row 0 of column 0 is gathered three times -> gradient 3, not 1
+    assert x.grad.data[0, 0] == 3.0
+
+
+def test_matmul_backward_reduces_interior_broadcast_dims():
+    # MatMul.backward only summed *extra leading* dims, so a size-1 interior
+    # batch dim broadcast against a real one raised a shape mismatch.
+    a = Tensor(np.random.default_rng(0).standard_normal((1, 3, 4))
+               .astype(np.float32), requires_grad=True)
+    b = Tensor(np.random.default_rng(1).standard_normal((5, 4, 2))
+               .astype(np.float32), requires_grad=True)
+    out = F.matmul(a, b)
+    assert out.shape == (5, 3, 2)
+    grad = np.ones_like(out.data)
+    out.backward(grad)
+    assert a.grad.shape == a.shape
+    assert b.grad.shape == b.shape
+    expected_a = (grad @ np.swapaxes(b.data, -1, -2)).sum(axis=0,
+                                                          keepdims=True)
+    np.testing.assert_allclose(a.grad.data, expected_a, rtol=1e-5)
+
+
+def test_nll_loss_backward_keeps_grad_dtype():
+    # NLLLoss.backward hard-coded float32, silently downcasting fp64
+    # gradients during numerical checking.
+    logp = Tensor(np.log(np.full((2, 3), 1 / 3, dtype=np.float64)),
+                  dtype=np.float64, requires_grad=True)
+    loss = F.nll_loss(logp, np.array([0, 2]))
+    loss.backward()
+    assert logp.grad.data.dtype == np.float64

@@ -201,3 +201,67 @@ class TestAutogradProperties:
         weights = Tensor(rng.normal(size=(2, 5)).astype(np.float32))
         F.sum(F.softmax(t, axis=-1) * weights).backward()
         np.testing.assert_allclose(t.grad.data.sum(axis=-1), 0.0, atol=1e-4)
+
+
+class TestGradcheckProperties:
+    """Numerical gradient checks over randomly generated graph structure.
+
+    The parametrized suite in test_gradcheck_ops.py covers fixed index
+    patterns; here hypothesis drives arbitrary segment assignments and
+    random CSR sparsity so duplicate, empty and permuted segments are all
+    explored.
+    """
+
+    @given(st.integers(1, 10), st.integers(1, 5), st.integers(0, 10_000))
+    def test_scatter_add_gradcheck(self, rows, segments, seed):
+        from repro.testing import gradcheck
+
+        rng = np.random.default_rng(seed)
+        src = Tensor(rng.normal(size=(rows, 3)).astype(np.float32))
+        idx = rng.integers(0, segments, size=rows)
+        result = gradcheck(lambda x: F.scatter_add(x, idx, segments), [src])
+        assert result.ok, result.report()
+
+    @given(st.integers(2, 8), st.integers(2, 6), st.integers(0, 10_000))
+    def test_spmm_gradcheck_random_csr(self, rows, cols, seed):
+        from repro.tensor import SparseTensor
+        from repro.testing import gradcheck
+
+        rng = np.random.default_rng(seed)
+        nnz = int(rng.integers(1, rows * cols + 1))
+        sparse = SparseTensor.from_edges(
+            rng.integers(0, rows, size=nnz),
+            rng.integers(0, cols, size=nnz),
+            rng.uniform(0.5, 1.5, size=nnz).astype(np.float32),
+            (rows, cols),
+        )
+        x = Tensor(rng.normal(size=(cols, 3)).astype(np.float32))
+        result = gradcheck(lambda v: F.spmm(sparse, v), [x])
+        assert result.ok, result.report()
+
+    @given(st.integers(2, 10), st.integers(1, 20), st.integers(0, 10_000))
+    def test_gather_scatter_roundtrip_gradcheck(self, nodes, edges, seed):
+        """The PyG-style message-passing primitive on a random edge list."""
+        from repro.models.layers import gather_scatter
+        from repro.testing import gradcheck
+
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(nodes, 2)).astype(np.float32))
+        edge_src = rng.integers(0, nodes, size=edges)
+        edge_dst = rng.integers(0, nodes, size=edges)
+        result = gradcheck(
+            lambda v: gather_scatter(v, edge_src, edge_dst, nodes,
+                                     reduce="sum"),
+            [x],
+        )
+        assert result.ok, result.report()
+
+    @given(st.integers(1, 8), st.integers(1, 4), st.integers(0, 10_000))
+    def test_gather_dim_gradcheck(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(rows, cols)).astype(np.float32))
+        idx = rng.integers(0, rows, size=(rows + 1, cols))
+        from repro.testing import gradcheck
+
+        result = gradcheck(lambda v: F.gather(v, idx, 0), [x])
+        assert result.ok, result.report()

@@ -7,18 +7,25 @@ Usage::
     python -m repro fig9                   # the strong-scaling study
     python -m repro all                    # everything
     python -m repro profile TLSTM          # one workload, nvprof-style
+    python -m repro profile --jobs 4       # whole suite, 4 worker processes
     python -m repro memory                 # device-memory occupancy table
     python -m repro golden                 # diff kernel streams vs snapshots
     python -m repro golden --update        # regenerate tests/golden/*.json
+    python -m repro bench                  # cold/parallel/warm suite timings
+
+Suite-level commands accept ``--jobs N`` (characterize independent
+workloads on N worker processes) and ``--no-cache`` (recompute instead of
+replaying unchanged profiles from the persistent on-disk cache).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import GNNMark
-from .core import profile_workload
+from .core import executor, profile_workload
 
 FIGURES = {
     "fig2": "render_op_breakdown",
@@ -31,17 +38,32 @@ FIGURES = {
 }
 
 
-def _print_profile(mark: GNNMark, key: str, epochs: int,
-                   strict: bool = False) -> None:
-    profile = profile_workload(key, scale=mark.scale, epochs=epochs,
-                               seed=mark.seed, strict=strict)
-    print(f"== {key} ({epochs} epoch(s), {profile.launch_count} kernels,"
+def _print_profile_stats(key: str, profile) -> None:
+    print(f"== {key} ({len(profile.epoch_times)} epoch(s),"
+          f" {profile.launch_count} kernels,"
           f" {profile.sim_time_s * 1e3:.2f} ms simulated)")
     for stats in profile.kernels.top_kernels(10):
         share = stats.total_time_s / profile.kernels.total_time_s * 100
         print(f"  {stats.name:<28} {stats.op_class.value:<12}"
               f" x{stats.launches:<5} {stats.total_time_s * 1e6:9.1f} us"
               f" ({share:4.1f}%)")
+
+
+def _print_profile(mark: GNNMark, key: str, epochs: int,
+                   strict: bool = False) -> None:
+    profile = profile_workload(key, scale=mark.scale, epochs=epochs,
+                               seed=mark.seed, strict=strict)
+    _print_profile_stats(key, profile)
+
+
+def _print_profile_suite(mark: GNNMark, epochs: int, strict: bool,
+                         jobs: int | None, cache) -> None:
+    suite = executor.run_suite(scale=mark.scale, epochs=epochs,
+                               seed=mark.seed, strict=strict, jobs=jobs,
+                               cache=cache)
+    for key, profile in suite.profiles.items():
+        _print_profile_stats(key, profile)
+        print()
 
 
 def _print_memory(mark: GNNMark) -> None:
@@ -56,7 +78,8 @@ def _print_memory(mark: GNNMark) -> None:
               f"{mem['data_fraction'] * 100:>7.1f}%")
 
 
-def _run_golden(workload: str | None, update: bool) -> int:
+def _run_golden(workload: str | None, update: bool, jobs: int | None,
+                cache) -> int:
     from .core import registry
     from .testing import golden
 
@@ -66,28 +89,49 @@ def _run_golden(workload: str | None, update: bool) -> int:
         print(f"unknown workload(s) {unknown}; have {sorted(registry.WORKLOAD_KEYS)}")
         return 2
     if update:
-        for path in golden.update_goldens(keys):
+        for path in golden.update_goldens(keys, jobs=jobs, cache=cache):
             print(f"wrote {path}")
         return 0
     failed = 0
-    for key in keys:
-        try:
-            diffs = golden.verify_golden(key)
-        except FileNotFoundError as exc:
-            print(f"{key}: MISSING ({exc})")
+    for key, diffs in golden.verify_goldens(keys, jobs=jobs,
+                                            cache=cache).items():
+        if not diffs:
+            print(f"{key}: ok")
+        elif len(diffs) == 1 and diffs[0].startswith("missing snapshot"):
             failed += 1
-            continue
-        if diffs:
+            print(f"{key}: MISSING ({diffs[0]})")
+        else:
             failed += 1
             print(f"{key}: DIFFERS")
             for line in diffs:
                 print(f"  {line}")
-        else:
-            print(f"{key}: ok")
     if failed:
         print(f"{failed} workload(s) diverged; regenerate intentionally with "
               f"`python -m repro golden --update`")
     return 1 if failed else 0
+
+
+def _run_bench(args) -> int:
+    # the bench times the harness, not the workloads: test-scale configs by
+    # default (--quick forces them), full profile scale via --scale profile
+    scale = "test" if args.quick else (args.scale or "test")
+    report = executor.benchmark_suite(scale=scale, epochs=args.epochs,
+                                      seed=args.seed, jobs=args.jobs)
+    print(f"suite of {len(report['suite'])} workloads"
+          f" (scale={report['scale']}, epochs={report['epochs']},"
+          f" jobs={report['jobs']}):")
+    print(f"  cold serial    {report['cold_serial_s']:8.2f} s")
+    print(f"  cold parallel  {report['cold_parallel_s']:8.2f} s"
+          f"  ({report['parallel_speedup']:.2f}x)")
+    print(f"  warm cache     {report['warm_cache_s']:8.2f} s"
+          f"  ({report['warm_speedup']:.1f}x,"
+          f" {report['warm_cache_hits']} hits)")
+    out = args.output
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -97,50 +141,71 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("command",
                         choices=["table1", *FIGURES, "fig9", "all",
-                                 "profile", "memory", "golden"],
+                                 "profile", "memory", "golden", "bench"],
                         help="which artifact to regenerate")
     parser.add_argument("workload", nargs="?",
                         help="workload key (for 'profile' and 'golden')")
     parser.add_argument("--epochs", type=int, default=1)
-    parser.add_argument("--scale", default="profile",
-                        choices=["test", "profile", "scaling"])
+    parser.add_argument("--scale", default=None,
+                        choices=["test", "profile", "scaling"],
+                        help="workload configs (default: profile; "
+                             "'bench' defaults to test)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for suite-level commands "
+                             "(default: $REPRO_JOBS or serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always recompute; skip the persistent profile "
+                             "cache")
     parser.add_argument("--update", action="store_true",
                         help="regenerate golden snapshots instead of diffing")
     parser.add_argument("--strict", action="store_true",
                         help="validate GPU-model invariants on every record "
                              "(the 'profile' command)")
+    parser.add_argument("--quick", action="store_true",
+                        help="'bench': time the fast test-scale configs")
+    parser.add_argument("--output", default="BENCH_suite.json",
+                        help="'bench': where to write the timing report")
     args = parser.parse_args(argv)
+    cache = False if args.no_cache else True
 
     if args.command == "golden":
-        return _run_golden(args.workload, args.update)
+        return _run_golden(args.workload, args.update, args.jobs, cache)
+    if args.command == "bench":
+        return _run_bench(args)
 
-    mark = GNNMark(scale=args.scale, seed=args.seed)
+    mark = GNNMark(scale=args.scale or "profile", seed=args.seed)
 
     if args.command == "table1":
         print(mark.render_table1())
         return 0
     if args.command == "profile":
-        if not args.workload:
-            parser.error("profile requires a workload key")
-        _print_profile(mark, args.workload, args.epochs, strict=args.strict)
+        if args.workload:
+            _print_profile(mark, args.workload, args.epochs,
+                           strict=args.strict)
+        else:
+            _print_profile_suite(mark, args.epochs, args.strict, args.jobs,
+                                 cache)
         return 0
     if args.command == "memory":
         _print_memory(mark)
         return 0
     if args.command == "fig9":
-        print(mark.render_scaling(mark.scaling_study(epochs=args.epochs)))
+        print(mark.render_scaling(mark.scaling_study(
+            epochs=args.epochs, jobs=args.jobs, cache=cache)))
         return 0
 
     wanted = list(FIGURES) if args.command == "all" else [args.command]
-    suite = mark.characterize_suite(epochs=args.epochs)
+    suite = mark.characterize_suite(epochs=args.epochs, jobs=args.jobs,
+                                    cache=cache)
     for fig in wanted:
         print(getattr(mark, FIGURES[fig])(suite))
         print()
     if args.command == "all":
         print(mark.render_table1())
         print()
-        print(mark.render_scaling(mark.scaling_study(epochs=args.epochs)))
+        print(mark.render_scaling(mark.scaling_study(
+            epochs=args.epochs, jobs=args.jobs, cache=cache)))
     return 0
 
 

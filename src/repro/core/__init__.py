@@ -1,7 +1,8 @@
 """GNNMark core: workload registry (Table I), characterization pipeline and
 the top-level :class:`GNNMark` suite API."""
 
-from . import registry
+from . import cache, executor, registry
+from .cache import ProfileCache
 from .characterize import (
     SuiteProfile,
     WorkloadProfile,
@@ -13,6 +14,9 @@ from .suite import GNNMark
 
 __all__ = [
     "GNNMark",
+    "ProfileCache",
+    "cache",
+    "executor",
     "profile_inference",
     "SuiteProfile",
     "WorkloadProfile",

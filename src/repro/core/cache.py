@@ -1,0 +1,164 @@
+"""Persistent on-disk cache for suite characterization artifacts.
+
+PR 1's golden fingerprints prove that every workload's kernel stream is a
+deterministic function of ``(workload key, scale, epochs, seed)`` — so a
+profile computed once is valid until the *code* changes.  This module keys
+cached payloads by exactly those fields plus a **code fingerprint**: a
+SHA-256 over every ``.py`` file in the installed ``repro`` source tree.
+Re-running an unchanged suite replays profiles from disk in milliseconds;
+editing any source file changes the fingerprint and invalidates every
+entry cleanly (stale files are simply never addressed again).
+
+The cache is defensive by design: a corrupted, truncated or
+version-skewed entry is treated as a miss (and deleted best-effort), never
+an error — the worst failure mode is recomputing a profile.
+
+Layout: one pickle per entry under the cache root
+(``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-gnnmark``, else
+``~/.cache/repro-gnnmark``), named ``<sha256 of the key fields>.pkl``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+#: bump to orphan every existing cache entry after a format change
+CACHE_VERSION = 1
+
+_SOURCE_FINGERPRINT: Optional[str] = None
+
+
+def source_fingerprint() -> str:
+    """SHA-256 over the ``repro`` package's source tree (paths + contents).
+
+    Computed once per process; any edit to any ``repro/**/*.py`` changes it,
+    so cached profiles can never outlive the code that produced them.
+    """
+    global _SOURCE_FINGERPRINT
+    if _SOURCE_FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(path.relative_to(root).as_posix().encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _SOURCE_FINGERPRINT = h.hexdigest()
+    return _SOURCE_FINGERPRINT
+
+
+def default_cache_dir() -> Path:
+    """Cache root (override with ``REPRO_CACHE_DIR``)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-gnnmark"
+
+
+class ProfileCache:
+    """Content-addressed pickle store for profile/fingerprint payloads."""
+
+    def __init__(self, root: Optional[Path] = None,
+                 fingerprint: Optional[str] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.fingerprint = (fingerprint if fingerprint is not None
+                            else source_fingerprint())
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- addressing -------------------------------------------------------
+    def key_for(self, kind: str, **fields) -> str:
+        """Stable address for one task's payload.
+
+        ``kind`` separates task families ("profile", "fingerprint",
+        "scaling"); ``fields`` carry the task parameters (workload key,
+        scale, epochs, seed, ...).  The code fingerprint and cache version
+        are always mixed in, so any source edit or format bump is a clean
+        invalidation.
+        """
+        payload = json.dumps(
+            {"version": CACHE_VERSION, "code": self.fingerprint,
+             "kind": kind, "fields": fields},
+            sort_keys=True, default=repr,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    # -- load/store -------------------------------------------------------
+    def load(self, key: str):
+        """Return the cached payload, or ``None`` on any miss or damage."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # corrupted / truncated / unpicklable: recompute, don't crash
+            self.misses += 1
+            self._discard(path)
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("version") != CACHE_VERSION
+                or entry.get("key") != key
+                or "payload" not in entry):
+            self.misses += 1
+            self._discard(path)
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def store(self, key: str, payload) -> Optional[Path]:
+        """Atomically persist ``payload`` under ``key`` (best-effort)."""
+        path = self.path_for(key)
+        entry = {"version": CACHE_VERSION, "key": key, "payload": payload}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                self._discard(Path(tmp))
+                raise
+        except (OSError, pickle.PicklingError):
+            # read-only FS / unpicklable payload: caching is an optimisation,
+            # never a reason to fail the run
+            return None
+        self.stores += 1
+        return path
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def resolve_cache(cache) -> Optional[ProfileCache]:
+    """Normalize a user-facing ``cache`` argument.
+
+    ``True`` → a default :class:`ProfileCache`; ``None``/``False`` →
+    caching disabled; an existing :class:`ProfileCache` passes through.
+    """
+    if cache is True:
+        return ProfileCache()
+    if cache is None or cache is False:
+        return None
+    return cache

@@ -10,6 +10,7 @@ import numpy as np
 
 from ..gpu import SimulatedGPU, SimulationConfig
 from ..profiling import DivergenceInstrument, KernelProfiler, SparsityTracker
+from ..tensor import manual_seed
 from ..train.trainer import Trainer
 from . import registry
 
@@ -27,8 +28,18 @@ class WorkloadProfile:
     train_metrics: list[dict[str, float]]
     sim_time_s: float
     launch_count: int
-    #: back-reference to the trained workload (set by profile_workload)
+    #: model + Adam-state device bytes, captured at profile time so the
+    #: memory view survives pickling across process boundaries
+    model_bytes: float = 0.0
+    #: back-reference to the trained workload (set by profile_workload);
+    #: in-process only — dropped when the profile crosses a process or
+    #: cache boundary (it drags the whole device graph along)
     _workload: object = None
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_workload"] = None
+        return state
 
     # -- figure accessors ---------------------------------------------------
     def op_breakdown(self) -> dict[str, float]:
@@ -58,9 +69,9 @@ class WorkloadProfile:
         Returns bytes for the model (parameters + Adam state) and for the
         training data shipped per epoch, plus the data fraction.
         """
-        model_bytes = 0.0
+        model_bytes = float(self.model_bytes)
         workload = getattr(self, "_workload", None)
-        if workload is not None and hasattr(workload, "model"):
+        if not model_bytes and workload is not None and hasattr(workload, "model"):
             param_bytes = workload.model.parameter_bytes()
             # Adam keeps two fp32 moments per parameter
             model_bytes = float(param_bytes * 3)
@@ -91,8 +102,15 @@ def profile_workload(
     With ``strict=True`` every launch and transfer is additionally validated
     against the GPU model's physical-consistency invariants
     (:mod:`repro.testing.invariants`), raising on the first violation.
+
+    Reseeds the framework RNG first (as :func:`fingerprint_workload` does),
+    so the profile is a pure function of ``(key, scale, epochs, seed)`` —
+    never of hidden RNG state left by earlier runs.  That property is what
+    lets the executor cache profiles on disk and fan them out over worker
+    processes while staying bit-identical to a serial run.
     """
     spec = registry.get(key)
+    manual_seed(seed)
     device = SimulatedGPU(sim)
     # Build first, then instrument: the paper profiles *training*, so one-off
     # setup work (weight H2D copies, dataset staging) is excluded.
@@ -127,6 +145,9 @@ def profile_workload(
         sim_time_s=device.elapsed_s(),
         launch_count=device.stats.kernel_count,
     )
+    if hasattr(workload, "model"):
+        # Adam keeps two fp32 moments per parameter
+        profile.model_bytes = float(workload.model.parameter_bytes() * 3)
     profile._workload = workload
     return profile
 
@@ -158,15 +179,22 @@ def profile_suite(
     epochs: int = 1,
     seed: int = 0,
     strict: bool = False,
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> SuiteProfile:
-    """Profile the whole suite (Figures 2-8 derive from this)."""
-    if keys is None:
-        keys = list(registry.WORKLOAD_KEYS)
-    suite = SuiteProfile()
-    for key in keys:
-        suite.profiles[key] = profile_workload(key, scale=scale, epochs=epochs,
-                                               seed=seed, strict=strict)
-    return suite
+    """Profile the whole suite (Figures 2-8 derive from this).
+
+    Delegates to :mod:`repro.core.executor`: ``jobs`` workloads are
+    characterized concurrently on a process pool (``None`` → ``$REPRO_JOBS``,
+    default serial) and ``cache`` (``True`` or a
+    :class:`~repro.core.cache.ProfileCache`) replays unchanged profiles
+    from disk.  All paths produce bit-identical kernel streams because
+    :func:`profile_workload` is self-seeding.
+    """
+    from . import executor
+
+    return executor.run_suite(keys, scale=scale, epochs=epochs, seed=seed,
+                              strict=strict, jobs=jobs, cache=cache)
 
 
 def profile_inference(
@@ -184,6 +212,7 @@ def profile_inference(
     import numpy as np
 
     spec = registry.get(key)
+    manual_seed(seed)
     device = SimulatedGPU(sim)
     workload = spec.build(device=device, scale=scale)
     rng = np.random.default_rng(seed)

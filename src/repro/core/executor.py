@@ -1,0 +1,245 @@
+"""Suite execution engine: process-pool fan-out + persistent profile cache.
+
+``GNNMark.characterize_suite`` historically profiled all workloads strictly
+serially in one process and recomputed everything from scratch on every
+invocation.  Both costs are unnecessary:
+
+* workloads are **independent** — each run builds its own
+  :class:`~repro.gpu.device.SimulatedGPU` and reseeds the framework RNG, so
+  characterizations fan out over a ``multiprocessing`` pool with no shared
+  state (workers return picklable payloads);
+* workloads are **deterministic** functions of
+  ``(key, scale, epochs, seed)`` and the source tree (PR 1's golden
+  fingerprints are the proof), so finished payloads persist in a
+  :class:`~repro.core.cache.ProfileCache` and replay in milliseconds until
+  the code changes.
+
+Correctness here means *bit-identical kernel streams*: the serial, parallel
+and cache-hit paths all execute the same self-seeding task functions, and
+``tests/test_executor.py`` asserts byte-identical golden digests across all
+three for every registry workload.
+
+Tasks are declarative ``(kind, params)`` pairs so they cross process
+boundaries without pickling closures:
+
+* ``("profile", {...})``      → :func:`repro.core.characterize.profile_workload`
+* ``("fingerprint", {...})``  → :func:`repro.testing.golden.fingerprint_workload`
+* ``("scaling", {...})``      → :func:`repro.train.ddp.run_scaling_point`
+
+``jobs=None`` resolves the worker count from ``$REPRO_JOBS`` (default 1),
+which is how CI exercises the parallel path under the stock pytest suite.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import time
+from typing import Optional, Sequence
+
+from .cache import ProfileCache, resolve_cache
+from . import registry
+
+Task = tuple  # (kind: str, params: dict)
+
+
+def _run_profile(params: dict):
+    from . import characterize
+
+    return characterize.profile_workload(**params)
+
+
+def _run_fingerprint(params: dict):
+    from ..testing import golden
+
+    return golden.fingerprint_workload(**params)
+
+
+def _run_scaling(params: dict):
+    from ..train import ddp
+
+    return ddp.run_scaling_point(**params)
+
+
+_TASK_RUNNERS = {
+    "profile": _run_profile,
+    "fingerprint": _run_fingerprint,
+    "scaling": _run_scaling,
+}
+
+
+def execute_task(task: Task):
+    """Run one task in the current process.
+
+    Reseeds the framework RNG from the task's own seed first, so a pool
+    worker that just finished another workload starts from exactly the
+    state a fresh process would — the task functions reseed themselves
+    too, but the engine must not *rely* on that for worker isolation.
+    """
+    kind, params = task
+    if kind not in _TASK_RUNNERS:
+        raise ValueError(f"unknown task kind {kind!r}; have {sorted(_TASK_RUNNERS)}")
+    from ..tensor import manual_seed
+
+    manual_seed(int(params.get("seed", 0)))
+    return _TASK_RUNNERS[kind](params)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """``None`` → ``$REPRO_JOBS`` (default 1); always at least 1."""
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        except ValueError:
+            jobs = 1
+    return max(1, int(jobs))
+
+
+def _pool_context():
+    # fork shares the already-imported interpreter (cheap workers on the
+    # platforms CI runs on); fall back to spawn where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_tasks(tasks: Sequence[Task], jobs: Optional[int] = None,
+              cache=None) -> list:
+    """Execute ``tasks``, returning results aligned with the input order.
+
+    Cache hits short-circuit execution entirely; misses run serially or on
+    a process pool (``jobs`` workers) and are persisted afterwards.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    store: Optional[ProfileCache] = resolve_cache(cache)
+
+    results: list = [None] * len(tasks)
+    keys: list = [None] * len(tasks)
+    pending: list[int] = []
+    for i, (kind, params) in enumerate(tasks):
+        if store is not None:
+            keys[i] = store.key_for(kind, **params)
+            hit = store.load(keys[i])
+            if hit is not None:
+                results[i] = hit
+                continue
+        pending.append(i)
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+                computed = pool.map(
+                    execute_task, [tasks[i] for i in pending], chunksize=1
+                )
+        else:
+            computed = [execute_task(tasks[i]) for i in pending]
+        for i, result in zip(pending, computed):
+            results[i] = result
+            if store is not None:
+                store.store(keys[i], result)
+    return results
+
+
+# -- suite-level conveniences -------------------------------------------------
+def profile_tasks(keys: Optional[Sequence[str]] = None, scale: str = "profile",
+                  epochs: int = 1, seed: int = 0,
+                  strict: bool = False) -> list[Task]:
+    if keys is None:
+        keys = list(registry.WORKLOAD_KEYS)
+    return [("profile", dict(key=k, scale=scale, epochs=epochs, seed=seed,
+                             strict=strict)) for k in keys]
+
+
+def run_suite(keys: Optional[Sequence[str]] = None, scale: str = "profile",
+              epochs: int = 1, seed: int = 0, strict: bool = False,
+              jobs: Optional[int] = None, cache=None):
+    """Characterize workloads through the engine → :class:`SuiteProfile`."""
+    from .characterize import SuiteProfile
+
+    tasks = profile_tasks(keys, scale=scale, epochs=epochs, seed=seed,
+                          strict=strict)
+    profiles = run_tasks(tasks, jobs=jobs, cache=cache)
+    suite = SuiteProfile()
+    for (_, params), profile in zip(tasks, profiles):
+        suite.profiles[params["key"]] = profile
+    return suite
+
+
+def fingerprint_suite(keys: Optional[Sequence[str]] = None,
+                      scale: str = "test", epochs: int = 1, seed: int = 0,
+                      jobs: Optional[int] = None, cache=None) -> dict:
+    """Golden kernel-stream fingerprints for ``keys``, keyed by workload.
+
+    Digests are order-independent per workload (each fingerprint hashes
+    only its own stream), so generating them in parallel is equivalent to
+    the serial loop by construction.
+    """
+    if keys is None:
+        keys = list(registry.WORKLOAD_KEYS)
+    tasks: list[Task] = [
+        ("fingerprint", dict(key=k, scale=scale, epochs=epochs, seed=seed))
+        for k in keys
+    ]
+    return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))
+
+
+def run_scaling_points(points: Sequence[tuple[str, int]],
+                       scale: str = "scaling", epochs: int = 1, seed: int = 0,
+                       jobs: Optional[int] = None, cache=None) -> list:
+    """Fan the Figure-9 grid out over the pool: every ``(workload,
+    gpu count)`` measurement is an independent simulation."""
+    tasks: list[Task] = [
+        ("scaling", dict(key=k, num_gpus=n, scale=scale, epochs=epochs,
+                         seed=seed))
+        for k, n in points
+    ]
+    return run_tasks(tasks, jobs=jobs, cache=cache)
+
+
+# -- benchmark ---------------------------------------------------------------
+def benchmark_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
+                    epochs: int = 1, seed: int = 0,
+                    jobs: Optional[int] = None) -> dict:
+    """Time cold-serial, cold-parallel and warm (cache-hit) suite runs.
+
+    Uses throwaway cache directories so the measurement is hermetic: the
+    "cold" timings never see a developer's populated cache, and nothing is
+    left behind.  Returns the ``BENCH_suite.json`` payload.
+    """
+    if keys is None:
+        keys = list(registry.WORKLOAD_KEYS)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1:
+        cpus = os.cpu_count() or 1
+        jobs = max(2, min(4, cpus))
+
+    def timed(run_jobs: int, cache: ProfileCache) -> float:
+        t0 = time.perf_counter()
+        run_suite(keys, scale=scale, epochs=epochs, seed=seed,
+                  jobs=run_jobs, cache=cache)
+        return time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        serial_cache = ProfileCache(root=os.path.join(tmp, "serial"))
+        parallel_cache = ProfileCache(root=os.path.join(tmp, "parallel"))
+        cold_serial_s = timed(1, serial_cache)
+        cold_parallel_s = timed(jobs, parallel_cache)
+        warm_s = timed(1, serial_cache)  # now fully populated
+        warm_hits = serial_cache.hits
+
+    return {
+        "suite": list(keys),
+        "scale": scale,
+        "epochs": epochs,
+        "seed": seed,
+        "jobs": jobs,
+        "cold_serial_s": cold_serial_s,
+        "cold_parallel_s": cold_parallel_s,
+        "warm_cache_s": warm_s,
+        "warm_cache_hits": warm_hits,
+        "parallel_speedup": cold_serial_s / cold_parallel_s
+        if cold_parallel_s else 0.0,
+        "warm_speedup": cold_serial_s / warm_s if warm_s else 0.0,
+    }

@@ -50,6 +50,11 @@ class WorkloadSpec:
             raise ValueError(f"unknown scale {scale!r}; have {SCALES}")
         return self.builder(device, scale)
 
+    def __reduce__(self):
+        # builders are closures and cannot pickle; every live spec is a
+        # registry entry, so specs cross process boundaries by key
+        return (get, (self.key,))
+
 
 # -- cached dataset loaders (datasets are deterministic & read-only) ----------
 @lru_cache(maxsize=None)

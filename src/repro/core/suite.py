@@ -38,8 +38,10 @@ class GNNMark:
     def table1(self) -> list[dict[str, str]]:
         return registry.table1_rows()
 
-    def render_table1(self) -> str:
-        rows = self.table1()
+    def render_table1(self, rows: Optional[list[dict[str, str]]] = None) -> str:
+        rows = self.table1() if rows is None else rows
+        if not rows:
+            return "(no workloads)"
         cols = list(rows[0].keys())
         widths = {c: max(len(c), *(len(r[c]) for r in rows)) + 2 for c in cols}
         lines = ["".join(c.ljust(widths[c]) for c in cols)]
@@ -57,68 +59,95 @@ class GNNMark:
         )
 
     def characterize_suite(self, keys: Optional[list[str]] = None,
-                           epochs: int = 1, scale: Optional[str] = None
+                           epochs: int = 1, scale: Optional[str] = None,
+                           jobs: Optional[int] = None, cache=None
                            ) -> characterize.SuiteProfile:
+        """Characterize workloads through the suite execution engine.
+
+        ``jobs`` fans independent workloads out over a process pool
+        (``None`` → ``$REPRO_JOBS``, default serial); ``cache=True`` (or a
+        :class:`~repro.core.cache.ProfileCache`) replays unchanged
+        profiles from the persistent on-disk cache.
+        """
         return characterize.profile_suite(
-            keys, scale=scale or self.scale, epochs=epochs, seed=self.seed
+            keys, scale=scale or self.scale, epochs=epochs, seed=self.seed,
+            jobs=jobs, cache=cache,
         )
 
     # -- figure renderers -------------------------------------------------------------
+    @staticmethod
+    def _empty(title: str) -> str:
+        return f"{title}\n(no workloads)"
+
     def render_op_breakdown(self, suite: characterize.SuiteProfile) -> str:
         from ..gpu import FIGURE_CATEGORIES
 
+        title = "Figure 2: execution-time breakdown by operation"
+        if not suite.profiles:
+            return self._empty(title)
         rows = {k: p.op_breakdown() for k, p in suite.profiles.items()}
-        return format_table(rows, list(FIGURE_CATEGORIES),
-                            title="Figure 2: execution-time breakdown by operation",
+        return format_table(rows, list(FIGURE_CATEGORIES), title=title,
                             percent=True, width=11)
 
     def render_instruction_mix(self, suite: characterize.SuiteProfile) -> str:
+        title = "Figure 3: dynamic instruction mix"
+        if not suite.profiles:
+            return self._empty(title)
         rows = {k: p.instruction_mix() for k, p in suite.profiles.items()}
-        return format_table(rows, ["int32", "fp32", "other"],
-                            title="Figure 3: dynamic instruction mix",
+        return format_table(rows, ["int32", "fp32", "other"], title=title,
                             percent=True)
 
     def render_throughput(self, suite: characterize.SuiteProfile) -> str:
+        title = "Figure 4: achieved GFLOPS / GIOPS / IPC"
+        if not suite.profiles:
+            return self._empty(title)
         rows = {k: p.throughput() for k, p in suite.profiles.items()}
-        return format_table(rows, ["gflops", "giops", "ipc"],
-                            title="Figure 4: achieved GFLOPS / GIOPS / IPC",
+        return format_table(rows, ["gflops", "giops", "ipc"], title=title,
                             percent=False)
 
     def render_stalls(self, suite: characterize.SuiteProfile) -> str:
+        title = "Figure 5: issue-stall breakdown"
+        if not suite.profiles:
+            return self._empty(title)
         cols = ["memory_dependency", "execution_dependency", "instruction_fetch",
                 "synchronization", "pipe_busy", "not_selected", "other"]
         rows = {k: p.stalls() for k, p in suite.profiles.items()}
-        return format_table(rows, cols,
-                            title="Figure 5: issue-stall breakdown",
-                            percent=True, width=13)
+        return format_table(rows, cols, title=title, percent=True, width=13)
 
     def render_cache(self, suite: characterize.SuiteProfile) -> str:
+        title = "Figure 6: cache hit rates and divergent loads"
+        if not suite.profiles:
+            return self._empty(title)
         rows = {k: p.cache() for k, p in suite.profiles.items()}
         return format_table(rows, ["l1_hit", "l2_hit", "divergent_loads"],
-                            title="Figure 6: cache hit rates and divergent loads",
-                            percent=True)
+                            title=title, percent=True)
 
     def render_sparsity(self, suite: characterize.SuiteProfile) -> str:
+        title = "Figure 7: average H2D transfer sparsity"
+        if not suite.profiles:
+            return self._empty(title)
         rows = {k: {"h2d_sparsity": p.transfer_sparsity()}
                 for k, p in suite.profiles.items()}
-        return format_table(rows, ["h2d_sparsity"],
-                            title="Figure 7: average H2D transfer sparsity",
-                            percent=True)
+        return format_table(rows, ["h2d_sparsity"], title=title, percent=True)
 
     def render_sparsity_timeline(self, suite: characterize.SuiteProfile) -> str:
+        title = "Figure 8: per-transfer sparsity timeline"
+        if not suite.profiles:
+            return self._empty(title)
         series = {k: p.sparsity_timeline() for k, p in suite.profiles.items()}
-        return format_series(series,
-                             title="Figure 8: per-transfer sparsity timeline")
+        return format_series(series, title=title)
 
     # -- multi-GPU ------------------------------------------------------------------------
     def scaling_study(self, keys: Optional[list[str]] = None,
                       gpu_counts: tuple[int, ...] = (1, 2, 4),
-                      epochs: int = 1) -> dict[str, dict[int, float]]:
+                      epochs: int = 1, jobs: Optional[int] = None,
+                      cache=None) -> dict[str, dict[int, float]]:
         return ddp.run_scaling_study(keys, gpu_counts=gpu_counts,
                                      scale="scaling", epochs=epochs,
-                                     seed=self.seed)
+                                     seed=self.seed, jobs=jobs, cache=cache)
 
     def render_scaling(self, times: dict[str, dict[int, float]]) -> str:
-        return format_scaling(
-            times, title="Figure 9: strong scaling (speedup vs 1 GPU)"
-        )
+        title = "Figure 9: strong scaling (speedup vs 1 GPU)"
+        if not times:
+            return self._empty(title)
+        return format_scaling(times, title=title)

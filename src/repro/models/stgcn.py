@@ -26,8 +26,12 @@ def scaled_laplacian(dataset_graph) -> SparseTensor:
     n = adj.shape[0]
     lap = sp.eye(n, format="csr", dtype=np.float32) - adj
     try:
+        # ARPACK's default start vector is drawn from the unseeded legacy
+        # numpy RNG, making lmax (and every downstream loss) vary per process
+        v0 = np.random.default_rng(0).random(n)
         lmax = float(
-            sp.linalg.eigsh(lap, k=1, which="LM", return_eigenvectors=False)[0]
+            sp.linalg.eigsh(lap, k=1, which="LM", return_eigenvectors=False,
+                            v0=v0)[0]
         )
     except Exception:  # eigensolver can fail on tiny graphs; 2.0 is the bound
         lmax = 2.0

@@ -19,6 +19,7 @@ from .gradcheck import (
 from .golden import (
     StreamRecorder,
     compare_fingerprints,
+    fingerprint_suite,
     fingerprint_workload,
     golden_dir,
     golden_path,
@@ -26,6 +27,7 @@ from .golden import (
     save_golden,
     update_goldens,
     verify_golden,
+    verify_goldens,
 )
 from .invariants import (
     InvariantChecker,
@@ -48,6 +50,7 @@ __all__ = [
     "check_stalls",
     "check_transfer",
     "compare_fingerprints",
+    "fingerprint_suite",
     "fingerprint_workload",
     "golden_dir",
     "golden_path",
@@ -58,4 +61,5 @@ __all__ = [
     "strict_mode",
     "update_goldens",
     "verify_golden",
+    "verify_goldens",
 ]

@@ -223,6 +223,22 @@ def compare_fingerprints(expected: dict, actual: dict) -> list[str]:
     return diffs
 
 
+def fingerprint_suite(keys: Optional[list[str]] = None, scale: str = "test",
+                      epochs: int = 1, seed: int = 0,
+                      jobs: Optional[int] = None, cache=None) -> dict[str, dict]:
+    """Fingerprint many workloads through the suite execution engine.
+
+    Each fingerprint hashes only its own workload's ordered stream, so
+    digests are order-independent across workloads and may be generated on
+    pool workers (or replayed from the profile cache) with byte-identical
+    results — ``tests/test_executor.py`` asserts exactly that.
+    """
+    from ..core import executor
+
+    return executor.fingerprint_suite(keys, scale=scale, epochs=epochs,
+                                      seed=seed, jobs=jobs, cache=cache)
+
+
 def verify_golden(key: str, scale: str = "test", epochs: int = 1,
                   seed: int = 0) -> list[str]:
     """Diff a fresh fingerprint against the committed snapshot."""
@@ -236,12 +252,50 @@ def verify_golden(key: str, scale: str = "test", epochs: int = 1,
     return compare_fingerprints(expected, actual)
 
 
+def verify_goldens(keys: Optional[list[str]] = None,
+                   jobs: Optional[int] = None,
+                   cache=None) -> dict[str, list[str]]:
+    """Diff fresh fingerprints for ``keys`` against committed snapshots.
+
+    Fingerprints are computed in parallel (each under its snapshot's own
+    recorded scale/epochs/seed); a missing snapshot surfaces as a
+    one-line diff instead of raising, so one absent file doesn't abort
+    the remaining workloads.
+    """
+    from ..core import executor
+
+    keys = list(keys or registry.WORKLOAD_KEYS)
+    expected: dict[str, dict] = {}
+    diffs: dict[str, list[str]] = {}
+    for key in keys:
+        try:
+            expected[key] = load_golden(key)
+        except FileNotFoundError as exc:
+            diffs[key] = [f"missing snapshot: {exc}"]
+
+    present = [k for k in keys if k in expected]
+    by_params: dict[tuple, list[str]] = {}
+    for key in present:
+        exp = expected[key]
+        params = (exp.get("scale", "test"), exp.get("epochs", 1),
+                  exp.get("seed", 0))
+        by_params.setdefault(params, []).append(key)
+    actual: dict[str, dict] = {}
+    for (scale, epochs, seed), group in by_params.items():
+        actual.update(executor.fingerprint_suite(
+            group, scale=scale, epochs=epochs, seed=seed, jobs=jobs,
+            cache=cache,
+        ))
+    for key in present:
+        diffs[key] = compare_fingerprints(expected[key], actual[key])
+    return {key: diffs[key] for key in keys}
+
+
 def update_goldens(keys: Optional[list[str]] = None, scale: str = "test",
-                   epochs: int = 1, seed: int = 0) -> list[Path]:
+                   epochs: int = 1, seed: int = 0,
+                   jobs: Optional[int] = None, cache=None) -> list[Path]:
     """Regenerate snapshots for ``keys`` (default: the whole registry)."""
-    paths = []
-    for key in keys or list(registry.WORKLOAD_KEYS):
-        fingerprint = fingerprint_workload(key, scale=scale, epochs=epochs,
-                                           seed=seed)
-        paths.append(save_golden(fingerprint))
-    return paths
+    keys = list(keys or registry.WORKLOAD_KEYS)
+    fingerprints = fingerprint_suite(keys, scale=scale, epochs=epochs,
+                                     seed=seed, jobs=jobs, cache=cache)
+    return [save_golden(fingerprints[key]) for key in keys]

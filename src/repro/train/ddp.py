@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core import registry
 from ..gpu import MultiGPUSystem, SimulationConfig
+from ..tensor import manual_seed
 
 
 @dataclass
@@ -83,12 +84,18 @@ def run_scaling_point(
     seed: int = 0,
     sim: SimulationConfig | None = None,
 ) -> ScalingPoint:
-    """Train ``epochs`` of one workload on ``num_gpus`` simulated devices."""
+    """Train ``epochs`` of one workload on ``num_gpus`` simulated devices.
+
+    Reseeds the framework RNG so each (workload, GPU-count) point is a pure
+    function of its arguments — points are independent and the executor may
+    run them on pool workers or replay them from the profile cache.
+    """
     spec = registry.get(key)
     if spec.ddp == "none":
         raise ValueError(
             f"{key} is excluded from multi-GPU scaling (whole-graph training)"
         )
+    manual_seed(seed)
     system = MultiGPUSystem(num_gpus, sim)
     device = system.devices[0]
 
@@ -141,18 +148,26 @@ def run_scaling_study(
     scale: str = "scaling",
     epochs: int = 1,
     seed: int = 0,
+    jobs: int | None = None,
+    cache=None,
 ) -> dict[str, dict[int, float]]:
-    """Figure 9: time-per-epoch for each workload across GPU counts."""
+    """Figure 9: time-per-epoch for each workload across GPU counts.
+
+    The (workload × GPU-count) grid runs through the suite execution
+    engine: every point is an independent simulation, so ``jobs`` workers
+    measure them concurrently and ``cache`` replays unchanged points.
+    """
+    from ..core import executor
+
     if keys is None:
         keys = [k for k in registry.WORKLOAD_KEYS
                 if registry.get(k).ddp != "none"]
-    results: dict[str, dict[int, float]] = {}
-    for key in keys:
-        results[key] = {}
-        for n in gpu_counts:
-            point = run_scaling_point(key, n, scale=scale, epochs=epochs,
-                                      seed=seed)
-            results[key][n] = point.epoch_time_s
+    grid = [(key, n) for key in keys for n in gpu_counts]
+    points = executor.run_scaling_points(grid, scale=scale, epochs=epochs,
+                                         seed=seed, jobs=jobs, cache=cache)
+    results: dict[str, dict[int, float]] = {key: {} for key in keys}
+    for (key, n), point in zip(grid, points):
+        results[key][n] = point.epoch_time_s
     return results
 
 
@@ -170,6 +185,7 @@ def run_weak_scaling_point(
     spec = registry.get(key)
     if spec.ddp == "none":
         raise ValueError(f"{key} is excluded from multi-GPU scaling")
+    manual_seed(seed)
     system = MultiGPUSystem(num_gpus, sim)
     device = system.devices[0]
 

@@ -1,10 +1,30 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.gpu import SimulatedGPU
 from repro.tensor import manual_seed
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_profile_cache(tmp_path_factory):
+    """Point the persistent profile cache at a session tmpdir.
+
+    Tests must never read (stale hits) or pollute (junk entries) a
+    developer's real ``~/.cache/repro-gnnmark``; the env var is what
+    :func:`repro.core.cache.default_cache_dir` resolves first, and it is
+    inherited by executor worker processes.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("profile-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(autouse=True)

@@ -106,3 +106,19 @@ class TestGNNMarkFacade:
     def test_suite_getitem(self, mini_suite):
         assert mini_suite["TLSTM"].key == "TLSTM"
         assert set(mini_suite.keys()) == {"TLSTM", "KGNNL"}
+
+    def test_render_table1_empty_rows(self, mark):
+        # regression: used to crash (rows[0] / bare max() over no rows)
+        assert mark.render_table1(rows=[]) == "(no workloads)"
+
+    def test_figure_renderers_empty_suite(self, mark):
+        from repro.core.characterize import SuiteProfile
+
+        empty = SuiteProfile()
+        for render in [mark.render_op_breakdown, mark.render_instruction_mix,
+                       mark.render_throughput, mark.render_stalls,
+                       mark.render_cache, mark.render_sparsity,
+                       mark.render_sparsity_timeline]:
+            text = render(empty)
+            assert "(no workloads)" in text
+        assert "(no workloads)" in mark.render_scaling({})

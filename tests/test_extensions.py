@@ -1,6 +1,8 @@
 """The paper's future-work extensions: fp16 training, transfer compression,
 weak scaling, time-to-train, inference profiling."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -234,11 +236,56 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "KGNNL" in out and "us" in out
 
-    def test_profile_requires_workload(self):
+    def test_profile_without_workload_profiles_suite(self, capsys, tmp_path):
         from repro.__main__ import main
+        from repro.core import executor
 
-        with pytest.raises(SystemExit):
-            main(["profile"])
+        # stub the engine: this tests the CLI wiring, not the (already
+        # covered) characterization itself
+        calls = {}
+
+        def fake_run_suite(scale=None, epochs=1, seed=0, strict=False,
+                           jobs=None, cache=None):
+            from repro.core.characterize import SuiteProfile
+
+            calls.update(scale=scale, jobs=jobs, cache=cache)
+            return SuiteProfile()
+
+        original = executor.run_suite
+        executor.run_suite = fake_run_suite
+        try:
+            assert main(["profile", "--scale", "test", "--jobs", "3",
+                         "--no-cache"]) == 0
+        finally:
+            executor.run_suite = original
+        assert calls == {"scale": "test", "jobs": 3, "cache": False}
+
+    def test_profile_suite_mode_end_to_end(self, capsys, monkeypatch):
+        """Unstubbed suite-mode profile over a two-workload registry slice."""
+        from repro.__main__ import main
+        from repro.core import registry
+
+        keys = ("TLSTM", "KGNNL")
+        monkeypatch.setattr(registry, "WORKLOAD_KEYS", keys)
+        assert main(["profile", "--scale", "test", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "== TLSTM" in out and "== KGNNL" in out
+
+    def test_bench_command_writes_report(self, capsys, tmp_path,
+                                         monkeypatch):
+        from repro import __main__ as cli
+
+        fake = {"suite": ["TLSTM"], "scale": "test", "epochs": 1, "jobs": 2,
+                "cold_serial_s": 1.0, "cold_parallel_s": 0.6,
+                "warm_cache_s": 0.01, "warm_cache_hits": 1,
+                "parallel_speedup": 1.67, "warm_speedup": 100.0}
+        monkeypatch.setattr(cli.executor, "benchmark_suite",
+                            lambda **kw: fake)
+        out_path = tmp_path / "BENCH_suite.json"
+        assert cli.main(["bench", "--quick", "--output", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["warm_speedup"] == 100.0
+        assert "warm cache" in capsys.readouterr().out
 
     def test_unknown_command_rejected(self):
         from repro.__main__ import main

@@ -42,6 +42,11 @@ def _print_profile_stats(key: str, profile) -> None:
     print(f"== {key} ({len(profile.epoch_times)} epoch(s),"
           f" {profile.launch_count} kernels,"
           f" {profile.sim_time_s * 1e3:.2f} ms simulated)")
+    hits = getattr(profile, "analysis_hits", 0)
+    misses = getattr(profile, "analysis_misses", 0)
+    if hits + misses:
+        print(f"   analysis cache: {hits}/{hits + misses} hits"
+              f" ({hits / (hits + misses) * 100:.1f}%)")
     for stats in profile.kernels.top_kernels(10):
         share = stats.total_time_s / profile.kernels.total_time_s * 100
         print(f"  {stats.name:<28} {stats.op_class.value:<12}"
@@ -131,6 +136,41 @@ def _run_bench(args) -> int:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {out}")
+    return _run_bench_hotpath(args, scale)
+
+
+def _run_bench_hotpath(args, scale: str) -> int:
+    # steady-state launch-path microbench: warm (analysis cache on) vs cold
+    # (REPRO_ANALYSIS_CACHE=0 semantics) epochs/sec per workload
+    hotpath_epochs = args.epochs if args.epochs > 1 else 3
+    report = executor.benchmark_hotpath(scale=scale, epochs=hotpath_epochs,
+                                        seed=args.seed)
+    print(f"\nlaunch hot path (steady state, {report['epochs']} epoch(s)"
+          f" after warm-up, scale={report['scale']}):")
+    print(f"  {'workload':<12}{'warm ep/s':>12}{'cold ep/s':>12}"
+          f"{'speedup':>9}{'hit rate':>10}")
+    for key, row in report["workloads"].items():
+        print(f"  {key:<12}{row['warm_epochs_per_s']:>12.2f}"
+              f"{row['cold_epochs_per_s']:>12.2f}{row['speedup']:>8.2f}x"
+              f"{row['hit_rate'] * 100:>9.1f}%")
+    print(f"  {'suite':<12}{report['warm_epochs_per_s']:>12.2f}"
+          f"{report['cold_epochs_per_s']:>12.2f}{report['speedup']:>8.2f}x")
+    with open(args.hotpath_output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.hotpath_output}")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = executor.check_hotpath_regression(report, baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            return 1
+        print(f"baseline check ok (committed speedup"
+              f" {baseline.get('speedup', 0.0):.2f}x,"
+              f" measured {report['speedup']:.2f}x)")
     return 0
 
 
@@ -166,6 +206,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="'bench': time the fast test-scale configs")
     parser.add_argument("--output", default="BENCH_suite.json",
                         help="'bench': where to write the timing report")
+    parser.add_argument("--hotpath-output", default="BENCH_hotpath.json",
+                        help="'bench': where to write the launch hot-path "
+                             "microbench report")
+    parser.add_argument("--baseline", default=None,
+                        help="'bench': committed hot-path baseline JSON; "
+                             "exit 1 if warm steady-state throughput "
+                             "regresses >25%% against it")
     args = parser.parse_args(argv)
     cache = False if args.no_cache else True
 

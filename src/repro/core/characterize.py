@@ -31,6 +31,11 @@ class WorkloadProfile:
     #: model + Adam-state device bytes, captured at profile time so the
     #: memory view survives pickling across process boundaries
     model_bytes: float = 0.0
+    #: launch-analysis cache outcome over this run (repro.gpu.analysis_cache):
+    #: hits replayed a memoized (memory, timing, stalls) triple, misses ran
+    #: the cold pipeline.  hits + misses == launch_count.
+    analysis_hits: int = 0
+    analysis_misses: int = 0
     #: back-reference to the trained workload (set by profile_workload);
     #: in-process only — dropped when the profile crosses a process or
     #: cache boundary (it drags the whole device graph along)
@@ -144,6 +149,8 @@ def profile_workload(
         train_metrics=[r.metrics for r in results],
         sim_time_s=device.elapsed_s(),
         launch_count=device.stats.kernel_count,
+        analysis_hits=device.stats.analysis_hits,
+        analysis_misses=device.stats.analysis_misses,
     )
     if hasattr(workload, "model"):
         # Adam keeps two fp32 moments per parameter
@@ -240,6 +247,8 @@ def profile_inference(
         train_metrics=[],
         sim_time_s=elapsed,
         launch_count=device.stats.kernel_count,
+        analysis_hits=device.stats.analysis_hits,
+        analysis_misses=device.stats.analysis_misses,
     )
 
 

@@ -9,6 +9,8 @@ Public surface:
 * Config dataclasses (:class:`DeviceConfig`, :data:`V100`, ...).
 """
 
+from . import analysis_cache
+from .analysis_cache import AnalysisCache, AnalysisRecord
 from .compression import CompressionResult, compress
 from .config import (
     DEFAULT_SIMULATION,
@@ -37,6 +39,9 @@ from .multigpu import AllReduceCost, MultiGPUSystem
 
 __all__ = [
     "AccessKind",
+    "AnalysisCache",
+    "AnalysisRecord",
+    "analysis_cache",
     "CompressionResult",
     "compress",
     "AccessPattern",

@@ -14,6 +14,8 @@ inputs that genuinely differ across kernels:
 
 from __future__ import annotations
 
+import math
+
 from . import divergence as divergence_mod
 from .config import SimulationConfig
 from .kernel import AccessKind, KernelDescriptor, MemoryMetrics
@@ -33,8 +35,6 @@ def _fit_fraction(footprint_bytes: float, capacity_bytes: float) -> float:
     if ratio <= 0.25:
         return 0.0
     # linear in log2(ratio) between 0.25 and 2.0
-    import math
-
     return (math.log2(ratio) + 2.0) / 3.0
 
 

@@ -13,17 +13,30 @@ counters so that arbitrarily long training runs stay cheap.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 import numpy as np
 
-from . import caches, stalls, timing
+from . import analysis_cache, timing
 from .config import DEFAULT_SIMULATION, SimulationConfig
 from .kernel import KernelDescriptor, KernelLaunch, TransferRecord
 
 LaunchListener = Callable[[KernelLaunch], None]
 TransferListener = Callable[[TransferRecord], None]
+
+#: live devices, tracked weakly so ``analysis_cache.clear()`` can flush every
+#: per-device launch-site memo without pinning retired devices in memory.
+_DEVICES: "weakref.WeakSet[SimulatedGPU]" = weakref.WeakSet()
+
+
+def _clear_site_caches() -> None:
+    for dev in _DEVICES:
+        dev.site_records.clear()
+
+
+analysis_cache.register_clear_hook(_clear_site_caches)
 
 
 @dataclass
@@ -39,6 +52,10 @@ class DeviceStats:
     d2h_bytes: int = 0
     fp32_flops: float = 0.0
     int32_iops: float = 0.0
+    #: launches whose analysis triple was replayed from the memoized
+    #: launch-analysis cache vs. computed cold (repro.gpu.analysis_cache).
+    analysis_hits: int = 0
+    analysis_misses: int = 0
 
     def reset(self) -> None:
         self.kernel_count = 0
@@ -50,6 +67,8 @@ class DeviceStats:
         self.d2h_bytes = 0
         self.fp32_flops = 0.0
         self.int32_iops = 0.0
+        self.analysis_hits = 0
+        self.analysis_misses = 0
 
 
 class SimulatedGPU:
@@ -73,9 +92,17 @@ class SimulatedGPU:
         #: kernels absorb it entirely.
         self.host_clock_s = 0.0
         self.stats = DeviceStats()
+        #: this config's launch-analysis memo, resolved once — the launch
+        #: hot path must not pay a registry lookup per kernel
+        self._analysis = analysis_cache.cache_for(self.sim)
+        #: launch-site memo: full (descriptor, analysis record) pairs keyed
+        #: by the emitting site's raw arguments (see ops.base.launch), letting
+        #: repeat launches skip descriptor construction entirely
+        self.site_records: dict[tuple, tuple] = {}
         self._launch_listeners: list[LaunchListener] = []
         self._transfer_listeners: list[TransferListener] = []
         self._launch_counter = 0
+        _DEVICES.add(self)
 
     # -- listener management -------------------------------------------------
     def add_launch_listener(self, listener: LaunchListener) -> None:
@@ -92,10 +119,99 @@ class SimulatedGPU:
 
     # -- execution ------------------------------------------------------------
     def launch(self, desc: KernelDescriptor) -> KernelLaunch:
-        """Simulate one kernel launch and advance the device clock."""
-        mem = caches.analyze(desc, self.sim)
-        tim = timing.analyze(desc, mem, self.sim)
-        stall = stalls.attribute(desc, mem, tim, self.sim)
+        """Simulate one kernel launch and advance the device clock.
+
+        The cache/timing/stall analysis is memoized per descriptor signature
+        (:mod:`repro.gpu.analysis_cache`): repeated launches of an identical
+        descriptor — every layer and epoch of GNN training re-emits them over
+        the same adjacency — degrade to a dict lookup plus clock arithmetic.
+        """
+        if analysis_cache.enabled():
+            record, hit = self._analysis.analyze(desc, self.sim)
+        else:
+            record, hit = analysis_cache.compute(desc, self.sim), False
+        return self._finish_launch(desc, record, hit)
+
+    def launch_fast(self, desc: KernelDescriptor) -> Optional[KernelLaunch]:
+        """:meth:`launch` for the tensor-ops hot path.
+
+        Identical clock/stat effects, but analysis-cache hits go through
+        :meth:`replay`, which skips the :class:`KernelLaunch` envelope when
+        no profiler is listening and returns ``None``.  :meth:`launch` keeps
+        the always-return-a-launch contract for direct callers.
+        """
+        if analysis_cache.enabled():
+            record, hit = self._analysis.analyze(desc, self.sim)
+            if hit:
+                return self.replay(desc, record)
+        else:
+            record, hit = analysis_cache.compute(desc, self.sim), False
+        return self._finish_launch(desc, record, hit)
+
+    def launch_analyzed(
+        self, desc: KernelDescriptor
+    ) -> tuple["analysis_cache.AnalysisRecord", Optional[KernelLaunch]]:
+        """:meth:`launch` that also hands back the analysis record.
+
+        The miss path of the launch-site memo (``ops.base.launch``) uses this
+        to capture the record it will replay on subsequent hits without a
+        second cache probe.
+        """
+        if analysis_cache.enabled():
+            record, hit = self._analysis.analyze(desc, self.sim)
+        else:
+            record, hit = analysis_cache.compute(desc, self.sim), False
+        return record, self._finish_launch(desc, record, hit)
+
+    def replay(self, desc: KernelDescriptor, record) -> Optional[KernelLaunch]:
+        """Re-issue a memoized launch: clock arithmetic plus counters only.
+
+        Byte-identical to :meth:`launch` of the same descriptor — the record
+        was produced from exactly this descriptor, and the clock/stat updates
+        below mirror :meth:`_finish_launch` — but skips rebuilding the
+        :class:`KernelLaunch` envelope unless a profiler is listening.
+        """
+        tim = record.timing
+        self.host_clock_s += self.sim.device.kernel_launch_overhead_s
+        clock = self.clock_s
+        start = self.host_clock_s if self.host_clock_s > clock else clock
+        self.clock_s = start + tim.duration_s
+        launch_id = self._launch_counter
+        self._launch_counter = launch_id + 1
+
+        stats = self.stats
+        stats.kernel_count += 1
+        stats.kernel_time_s += tim.duration_s
+        stats.launch_overhead_s += start - clock
+        stats.fp32_flops += desc.fp32_flops
+        stats.int32_iops += desc.int32_iops
+        stats.analysis_hits += 1
+
+        if not self._launch_listeners:
+            return None
+        launch = KernelLaunch(
+            descriptor=desc,
+            launch_id=launch_id,
+            device_id=self.device_id,
+            cycles=tim.cycles,
+            duration_s=tim.duration_s,
+            start_s=start,
+            instructions=tim.instructions,
+            fp32_instrs=tim.fp32_instrs,
+            int32_instrs=tim.int32_instrs,
+            ipc=tim.ipc,
+            occupancy=tim.occupancy,
+            memory=record.memory,
+            stalls=record.stalls,
+        )
+        for listener in self._launch_listeners:
+            listener(launch)
+        return launch
+
+    def _finish_launch(self, desc: KernelDescriptor, record, hit: bool) -> KernelLaunch:
+        mem = record.memory
+        tim = record.timing
+        stall = record.stalls
 
         self.host_clock_s += self.sim.device.kernel_launch_overhead_s
         start = max(self.clock_s, self.host_clock_s)
@@ -123,6 +239,10 @@ class SimulatedGPU:
         self.stats.launch_overhead_s += gap
         self.stats.fp32_flops += desc.fp32_flops
         self.stats.int32_iops += desc.int32_iops
+        if hit:
+            self.stats.analysis_hits += 1
+        else:
+            self.stats.analysis_misses += 1
 
         for listener in self._launch_listeners:
             listener(launch)

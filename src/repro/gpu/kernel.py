@@ -106,6 +106,58 @@ class AccessPattern:
     element_bytes: int = 4
     indices: Optional[np.ndarray] = None
 
+    def sampled_indices(self, sample: int, cache: bool = True) -> Optional[np.ndarray]:
+        """Deterministic stratified sample of the index stream.
+
+        This is exactly the slice the divergence model inspects (whole warps
+        are kept so per-warp statistics stay meaningful), so two patterns
+        with equal samples are indistinguishable to the analysis pipeline.
+        """
+        if self.indices is None:
+            return None
+        store = self.__dict__.setdefault("_samples", {}) if cache else None
+        if store is not None and sample in store:
+            return store[sample]
+        flat = np.ascontiguousarray(self.indices).reshape(-1)
+        if flat.size > sample:
+            step = flat.size // sample
+            start = (flat.size % sample) // 2
+            flat = flat[start : start + sample * step : step]
+        if store is not None:
+            store[sample] = flat
+        return flat
+
+    def fingerprint(self, sample: int = 4096) -> tuple:
+        """Cheap content identity of this pattern for analysis memoization.
+
+        Regular patterns are fully described by their closed-form parameters.
+        Irregular patterns hash the *sampled* index bytes — the only part of
+        the stream the divergence model ever reads — so equal fingerprints
+        guarantee byte-identical analysis results for a given sample size.
+        Lazily computed and cached per sample size on the pattern object.
+
+        Fingerprints are in-process cache keys only (they are never
+        persisted or compared across runs), so the siphash built into
+        ``hash()`` is enough identity: per-batch index arrays hand a fresh
+        pattern to every launch, and hashing the sample is on that path.
+        """
+        if self.kind is AccessKind.COALESCED:
+            return ("C", self.element_bytes)
+        if self.kind is AccessKind.STRIDED:
+            return ("S", self.stride_bytes, self.element_bytes)
+        store = self.__dict__.setdefault("_fingerprints", {})
+        fp = store.get(sample)
+        if fp is None:
+            flat = self.sampled_indices(sample)
+            if flat is None or flat.size == 0:
+                fp = ("I", self.element_bytes, None)
+            else:
+                digest = hash(np.ascontiguousarray(flat).tobytes())
+                fp = ("I", self.element_bytes, flat.size,
+                      flat.dtype.str, digest)
+            store[sample] = fp
+        return fp
+
     @staticmethod
     def coalesced(element_bytes: int = 4) -> "AccessPattern":
         return AccessPattern(AccessKind.COALESCED, element_bytes, element_bytes)
@@ -176,9 +228,14 @@ class KernelDescriptor:
         return self.bytes_read + self.bytes_written
 
 
-@dataclass
+@dataclass(frozen=True)
 class MemoryMetrics:
-    """Memory-hierarchy outcome of one launch."""
+    """Memory-hierarchy outcome of one launch.
+
+    Frozen: launch-analysis records are memoized and shared between repeated
+    launches of identical descriptors (see :mod:`repro.gpu.analysis_cache`),
+    so they must stay immutable once published.
+    """
 
     transactions: float = 0.0
     divergent_load_fraction: float = 0.0
@@ -189,9 +246,13 @@ class MemoryMetrics:
     dram_bytes: float = 0.0
 
 
-@dataclass
+@dataclass(frozen=True)
 class StallBreakdown:
-    """Issue-stall attribution, matching nvprof's stall_* categories."""
+    """Issue-stall attribution, matching nvprof's stall_* categories.
+
+    Frozen for the same reason as :class:`MemoryMetrics`: instances are
+    shared between memoized launches.
+    """
 
     memory_dependency: float = 0.0
     execution_dependency: float = 0.0

@@ -13,6 +13,11 @@ the simulator already knows for each launch:
 * instruction-fetch pressure follows the kernel's static code footprint
   relative to the 12 KB L0 I-cache (the paper blames unrolled loops), with a
   floor because every kernel fetches.
+
+:func:`attribute` must stay a pure function of ``(desc, mem, timing, sim)``
+— it is memoized per descriptor signature by
+:mod:`repro.gpu.analysis_cache`, and any dependence on device state would
+make cached and cold launches diverge.
 """
 
 from __future__ import annotations

@@ -18,8 +18,12 @@ from .config import SimulationConfig
 from .kernel import KernelDescriptor, MemoryMetrics
 
 
-@dataclass
+@dataclass(frozen=True)
 class TimingResult:
+    """Frozen: shared between memoized launches of identical descriptors
+    (:mod:`repro.gpu.analysis_cache`); nothing may mutate a published result,
+    including the ``components`` dict."""
+
     cycles: float
     duration_s: float
     instructions: float

@@ -142,9 +142,11 @@ def pinsage_neighbors(
         visited = visited[visited != seeds[local]]
         if visited.size == 0:
             continue
-        counts = np.bincount(visited)
-        nodes = np.nonzero(counts)[0]
-        weights = counts[nodes].astype(np.float32)
+        # unique == bincount + nonzero (ascending nodes, same counts) but
+        # touches only the ~num_walks*walk_length visited entries instead of
+        # allocating a num_nodes-long count array per seed
+        nodes, counts = np.unique(visited, return_counts=True)
+        weights = counts.astype(np.float32)
         order = np.argsort(-weights, kind="stable")[:top_t]
         keep = nodes[order]
         w = weights[order]

@@ -72,6 +72,11 @@ class ARGAWorkload:
     optimizer: Adam
     disc_optimizer: Adam
     device: object = None
+    #: host-side prep memo (normalized adjacency, dense label matrix, sort
+    #: keys, pos_weight): the dataset graph is immutable, so this is a pure
+    #: per-epoch recomputation; gated on the ``REPRO_ANALYSIS_CACHE`` escape
+    #: hatch like the rest of the launch fast path
+    _prep_host: object = None
 
     @classmethod
     def build(cls, dataset: CitationDataset, device=None, hidden: int = 32,
@@ -90,14 +95,34 @@ class ARGAWorkload:
         )
 
     def _prepare(self) -> tuple[SparseTensor, Tensor, np.ndarray, float]:
-        """Ship the full graph to the device (ARGA's defining behaviour)."""
+        """Ship the full graph to the device (ARGA's defining behaviour).
+
+        The host-side artifacts (normalized adjacency, dense label matrix,
+        coalesce keys) are pure functions of the immutable dataset graph and
+        are memoized across epochs; every device-visible emission (the H2D
+        copies, the coalesce sort, the reductions) still happens per epoch,
+        so the kernel/transfer stream is identical with or without the memo.
+        """
+        from ..gpu import analysis_cache
+
         ds = self.dataset
         x = Tensor(ds.features, name="features").to(self.device, "arga.features")
-        adj = ds.graph.adjacency("sym", add_self_loops=True).to(self.device)
-        target = (ds.graph.csr().toarray() > 0).astype(np.float32)
-        np.fill_diagonal(target, 1.0)
-        pos = target.sum()
-        pos_weight = float((target.size - pos) / max(pos, 1.0))
+        use_memo = analysis_cache.enabled()
+        if use_memo and self._prep_host is not None:
+            adj_host, target, keys, pos_weight = self._prep_host
+        else:
+            adj_host = ds.graph.adjacency("sym", add_self_loops=True)
+            # seed the transpose so every epoch's .to() carries the cached
+            # CSC view instead of rebuilding it device-side
+            adj_host.t()
+            target = (ds.graph.csr().toarray() > 0).astype(np.float32)
+            np.fill_diagonal(target, 1.0)
+            pos = target.sum()
+            pos_weight = float((target.size - pos) / max(pos, 1.0))
+            keys = ds.graph.dst * ds.graph.num_nodes + ds.graph.src
+            if use_memo:
+                self._prep_host = (adj_host, target, keys, pos_weight)
+        adj = adj_host.to(self.device)
         if self.device is not None:
             self.device.h2d(target, "arga.adj_label")
             # PyG coalesces the freshly transferred edge index: a device
@@ -105,7 +130,6 @@ class ARGAWorkload:
             from ..tensor.ops import sort as sort_ops
             from ..tensor.ops.base import launch_reduction
 
-            keys = ds.graph.dst * ds.graph.num_nodes + ds.graph.src
             sort_ops.launch_sort(self.device, "coalesce_edge_sort",
                                  int(keys.size), 2, keys=keys, key_bits=64)
             # loss normalization and pos_weight are computed on the device

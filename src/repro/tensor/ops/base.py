@@ -12,24 +12,38 @@ launch.
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from ...gpu import AccessPattern, KernelDescriptor, OpClass
+from ...gpu import AccessPattern, KernelDescriptor, OpClass, analysis_cache
 from ...gpu.device import SimulatedGPU
 from .. import autograd
 
 
 @dataclass(frozen=True)
 class ElementCost:
-    """Per-element dynamic instruction costs of an op family."""
+    """Per-element dynamic instruction costs of an op family.
+
+    Hashes by value (equal costs from different construction sites share a
+    launch-site memo entry) but the hash is computed once: every kernel
+    launch hashes a cost as part of its memo key.
+    """
 
     flops: float
     iops: float
     ldst: float
     control: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.flops, self.iops, self.ldst, self.control))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - exercised everywhere
+        return self._hash
 
 
 # Per-element costs.  "Element" means one output value unless noted.
@@ -62,6 +76,19 @@ CONV_IOPS_PER_FMA = 1.05
 
 FLOAT_BYTES = 4
 INDEX_BYTES = 8
+
+
+#: shared coalesced access patterns per element size.  The objects are
+#: reused across launches (their lazily-cached fingerprints make repeat
+#: signature probes free) — safe because nothing ever mutates a pattern.
+_COALESCED: dict[int, AccessPattern] = {}
+
+
+def coalesced_access(element_bytes: int = FLOAT_BYTES) -> AccessPattern:
+    pattern = _COALESCED.get(element_bytes)
+    if pattern is None:
+        pattern = _COALESCED[element_bytes] = AccessPattern.coalesced(element_bytes)
+    return pattern
 
 
 def as_array(x) -> np.ndarray:
@@ -106,9 +133,36 @@ def launch(
     block_size: int = 256,
     compute_scale: float = 1.0,
 ) -> None:
-    """Emit one kernel to ``device`` (no-op for CPU tensors)."""
+    """Emit one kernel to ``device`` (no-op for CPU tensors).
+
+    Launch-site fast path: with the analysis cache enabled, launches whose
+    access pattern is regular (fully described by closed-form parameters)
+    memoize the finished ``(descriptor, analysis record)`` pair per device,
+    keyed by the raw arguments of this call.  A repeat emission — every layer
+    of every epoch re-emits identical kernels — skips the cost arithmetic,
+    descriptor construction and analysis probe and goes straight to
+    :meth:`SimulatedGPU.replay` (clock arithmetic plus counters).  The key
+    holds every input the descriptor is built from, so a hit replays exactly
+    what the slow path would have produced.  Irregular patterns carry real
+    index arrays and are served by the content-addressed analysis cache
+    instead (see :func:`irregular_row_access`).
+    """
     if device is None:
         return
+    fast = analysis_cache.enabled() and (access is None or access.indices is None)
+    if fast:
+        key = (
+            name, op_class, autograd.current_phase(), threads, block_size,
+            cost, work_items, fp32_flops, int32_iops, ldst_instrs,
+            control_instrs, bytes_read, bytes_written, working_set_bytes,
+            reuse_factor, compute_scale,
+            None if access is None
+            else (access.kind, access.stride_bytes, access.element_bytes),
+        )
+        entry = device.site_records.get(key)
+        if entry is not None:
+            device.replay(entry[0], entry[1])
+            return
     if cost is not None:
         n = work_items if work_items is not None else float(threads)
         fp32_flops += cost.flops * n
@@ -127,12 +181,16 @@ def launch(
         bytes_written=bytes_written,
         working_set_bytes=working_set_bytes,
         reuse_factor=reuse_factor,
-        access=access or AccessPattern.coalesced(FLOAT_BYTES),
+        access=access or coalesced_access(FLOAT_BYTES),
         block_size=block_size,
         phase=autograd.current_phase(),
         compute_scale=compute_scale,
     )
-    device.launch(desc)
+    if fast:
+        record, _ = device.launch_analyzed(desc)
+        device.site_records[key] = (desc, record)
+        return
+    device.launch_fast(desc)
 
 
 def launch_elementwise(
@@ -158,7 +216,7 @@ def launch_elementwise(
         cost=cost,
         bytes_read=float(num_inputs * out_size * dtype_bytes),
         bytes_written=float(out_size * dtype_bytes),
-        access=AccessPattern.coalesced(dtype_bytes),
+        access=coalesced_access(dtype_bytes),
     )
 
 
@@ -183,7 +241,7 @@ def launch_reduction(
         bytes_read=float(in_size * dtype_bytes),
         bytes_written=float(out_size * dtype_bytes),
         reuse_factor=1.5,
-        access=AccessPattern.coalesced(dtype_bytes),
+        access=coalesced_access(dtype_bytes),
     )
 
 
@@ -289,6 +347,35 @@ def launch_gemm(
     )
 
 
+#: memoized irregular_row_access patterns, keyed by the identity of the index
+#: array's root buffer plus its view geometry and the expansion parameters.
+#: Entries are evicted by a weakref finalizer when the owning array dies, so
+#: per-batch throwaway index arrays never accumulate.
+_ROW_ACCESS_CACHE: dict[tuple, AccessPattern] = {}
+_ROW_ACCESS_KEYS: dict[int, list[tuple]] = {}
+
+
+def _row_access_root(arr: np.ndarray):
+    """Root buffer owner of a view chain (the object whose lifetime we track)."""
+    base = arr
+    while isinstance(getattr(base, "base", None), np.ndarray):
+        base = base.base
+    return base
+
+
+def _evict_row_access(owner_id: int) -> None:
+    for key in _ROW_ACCESS_KEYS.pop(owner_id, ()):
+        _ROW_ACCESS_CACHE.pop(key, None)
+
+
+def _clear_row_access_cache() -> None:
+    _ROW_ACCESS_CACHE.clear()
+    _ROW_ACCESS_KEYS.clear()
+
+
+analysis_cache.register_clear_hook(_clear_row_access_cache)
+
+
 def irregular_row_access(
     indices: np.ndarray, row_width: int, element_bytes: int = FLOAT_BYTES
 ) -> AccessPattern:
@@ -298,12 +385,40 @@ def irregular_row_access(
     features of the same row), the layout DGL/PyG kernels use; divergence
     then comes from *row* transitions inside a warp, measured on the real
     index array.
+
+    The expansion is memoized per ``(index array, row_width)``: SpMM,
+    gathers and scatters over the same CSR graph hand the *same* index
+    array to every layer of every epoch, so after the first launch they
+    reuse one pattern object — along with its cached divergence measurement
+    and content fingerprint.  The key is the array's buffer identity + view
+    geometry (kept alive only weakly); assumes index arrays are not mutated
+    in place between launches, which holds for adjacency structures and is
+    the same contract real frameworks' CSR caches rely on.
     """
-    indices = np.asarray(indices).reshape(-1)
+    indices = np.asarray(indices)
     if indices.size == 0:
-        return AccessPattern.coalesced(element_bytes)
+        return coalesced_access(element_bytes)
+    key = None
+    if analysis_cache.enabled():
+        root = _row_access_root(indices)
+        key = (id(root), indices.__array_interface__["data"][0],
+               indices.shape, indices.strides, indices.dtype.str,
+               row_width, element_bytes)
+        cached = _ROW_ACCESS_CACHE.get(key)
+        if cached is not None:
+            return cached
+    flat = indices.reshape(-1)
     lanes = max(1, min(row_width, 32))
     # Element address of what each consecutive thread touches: row*width+lane.
-    sample = indices[: 4096 // lanes + 1]
+    sample = flat[: 4096 // lanes + 1]
     addr = (sample[:, None].astype(np.int64) * row_width + np.arange(lanes)[None, :]).reshape(-1)
-    return AccessPattern.irregular(addr, element_bytes)
+    pattern = AccessPattern.irregular(addr, element_bytes)
+    if key is not None:
+        try:
+            if key[0] not in _ROW_ACCESS_KEYS:
+                weakref.finalize(root, _evict_row_access, key[0])
+            _ROW_ACCESS_KEYS.setdefault(key[0], []).append(key)
+            _ROW_ACCESS_CACHE[key] = pattern
+        except TypeError:  # pragma: no cover - root doesn't support weakrefs
+            pass
+    return pattern

@@ -11,12 +11,10 @@ import numpy as np
 
 from ...gpu import OpClass
 from ..autograd import Function
-from .base import CONV_IOPS_PER_FMA, FLOAT_BYTES, launch, launch_elementwise
+from .base import CONV_IOPS_PER_FMA, FLOAT_BYTES, as_array, launch, launch_elementwise
 
 
 def _data(x):
-    from .base import as_array
-
     return as_array(x)
 
 

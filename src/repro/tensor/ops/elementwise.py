@@ -14,12 +14,10 @@ import numpy as np
 from ...gpu import OpClass
 from ..autograd import Context, Function
 from . import base
-from .base import launch_elementwise, unbroadcast
+from .base import as_array, launch_elementwise, unbroadcast
 
 
 def _data(x):
-    from .base import as_array
-
     return as_array(x)
 
 

@@ -5,12 +5,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..autograd import Function
-from .base import launch_elementwise, launch_gemm
+from .base import as_array, launch_elementwise, launch_gemm, launch_reduction, unbroadcast
 
 
 def _data(x):
-    from .base import as_array
-
     return as_array(x)
 
 
@@ -44,8 +42,6 @@ class MatMul(Function):
         launch_gemm(ctx.device, "sgemm_tn_wgrad", k, m, n, batch)
         # Reduce broadcast batch dims back to the parameter shapes (both
         # extra leading dims and interior size-1 batch dims).
-        from .base import unbroadcast
-
         if grad_a.shape != ad.shape:
             grad_a = unbroadcast(grad_a, ad.shape, ctx.device)
         if grad_b.shape != bd.shape:
@@ -63,7 +59,7 @@ class Linear(Function):
         ctx.extras["has_bias"] = bias is not None
         out = xd @ wd.T
         if bias is not None:
-            out = out + _data(bias)
+            out += _data(bias)
         rows = int(np.prod(xd.shape[:-1]))
         launch_gemm(ctx.device, "sgemm_linear", rows, xd.shape[-1], wd.shape[0])
         if bias is not None:
@@ -86,8 +82,6 @@ class Linear(Function):
         grads = [grad_x, grad_w]
         if ctx.extras["has_bias"]:
             grad_bias = grad2d.sum(axis=0)
-            from .base import launch_reduction
-
             launch_reduction(ctx.device, "reduce_bias_grad", grad2d.size,
                              grad_bias.size)
             grads.append(grad_bias)

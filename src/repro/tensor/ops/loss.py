@@ -11,19 +11,22 @@ import numpy as np
 
 from ...gpu import OpClass
 from ..autograd import Function
-from .base import COSTS, launch, launch_elementwise, launch_reduction
+from .base import COSTS, as_array, launch, launch_elementwise, launch_reduction
 from .scattergather import launch_gather
 
 
 def _data(x):
-    from .base import as_array
-
     return as_array(x)
 
 
 def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    # two row-size temporaries instead of four; same per-element operation
+    # order as the naive expression, hence bit-identical
     shifted = logits - logits.max(axis=-1, keepdims=True)
-    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    norm = np.exp(shifted).sum(axis=-1, keepdims=True)
+    np.log(norm, out=norm)
+    shifted -= norm
+    return shifted
 
 
 class CrossEntropy(Function):
@@ -32,7 +35,7 @@ class CrossEntropy(Function):
     @staticmethod
     def forward(ctx, logits, target):
         ld = _data(logits)
-        td = np.asarray(_data(target)).astype(np.int64).reshape(-1)
+        td = np.asarray(_data(target)).astype(np.int64, copy=False).reshape(-1)
         logp = _log_softmax(ld.reshape(-1, ld.shape[-1]))
         n = logp.shape[0]
         picked = logp[np.arange(n), td]
@@ -91,15 +94,29 @@ class BCEWithLogits(Function):
     @staticmethod
     def forward(ctx, logits, target, pos_weight: float = 1.0):
         ld = _data(logits)
-        td = _data(target).astype(ld.dtype)
-        # log(1 + exp(-|x|)) + max(x, 0) - x*t, stable for any x
-        loss_elems = np.maximum(ld, 0) - ld * td + np.log1p(np.exp(-np.abs(ld)))
+        td = _data(target).astype(ld.dtype, copy=False)
+        # log(1 + exp(-|x|)) + max(x, 0) - x*t, stable for any x.  ARGA's
+        # reconstruction loss runs this over a dense N x N adjacency, so the
+        # element chain works in-place on two temporaries instead of
+        # allocating one per ufunc (same per-element operation order, hence
+        # bit-identical to the naive expression).
+        loss_elems = np.maximum(ld, 0)
+        loss_elems -= ld * td
+        tail = np.abs(ld)
+        np.negative(tail, out=tail)
+        np.exp(tail, out=tail)
+        np.log1p(tail, out=tail)
+        loss_elems += tail
         if pos_weight != 1.0:
             weights = np.where(td > 0.5, np.float32(pos_weight), np.float32(1.0))
-            loss_elems = loss_elems * weights
+            loss_elems *= weights
             ctx.extras["weights"] = weights
         loss = loss_elems.mean()
-        sig = 1.0 / (1.0 + np.exp(-np.clip(ld, -60, 60)))
+        sig = np.clip(ld, -60, 60)
+        np.negative(sig, out=sig)
+        np.exp(sig, out=sig)
+        sig += 1.0
+        np.reciprocal(sig, out=sig)
         ctx.save_for_backward(sig, td)
         ctx.extras["pos_weight"] = pos_weight
         launch_elementwise(ctx.device, "ew_bce_fwd", int(ld.size), 2,

@@ -10,12 +10,10 @@ import numpy as np
 
 from ...gpu import AccessPattern, OpClass
 from ..autograd import Function
-from .base import COSTS, launch
+from .base import COSTS, as_array, launch
 
 
 def _data(x):
-    from .base import as_array
-
     return as_array(x)
 
 

@@ -8,12 +8,10 @@ import numpy as np
 
 from ...gpu import OpClass
 from ..autograd import Function
-from .base import launch_elementwise, launch_reduction
+from .base import as_array, launch_elementwise, launch_reduction
 
 
 def _data(x):
-    from .base import as_array
-
     return as_array(x)
 
 

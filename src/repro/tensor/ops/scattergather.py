@@ -8,23 +8,37 @@ divergence and locality — the simulator's stand-in for NVBit.
 
 from __future__ import annotations
 
-import numpy as np
+import weakref
 
-from ...gpu import OpClass
+import numpy as np
+import scipy.sparse as sp
+
+from ...gpu import OpClass, analysis_cache
 from ..autograd import Function
 from .base import (
     COSTS,
     FLOAT_BYTES,
     INDEX_BYTES,
+    _row_access_root,
+    as_array,
     irregular_row_access,
     launch,
 )
 
 
 def _data(x):
-    from .base import as_array
-
     return as_array(x)
+
+
+def _as_index(x) -> np.ndarray:
+    """Index payload as int64, without copying when it already is.
+
+    Preserving the identity of persistent index arrays (edge lists, batch
+    assignments held by the workload) is what lets the launch-analysis
+    layer memoize ``irregular_row_access`` expansions and divergence
+    measurements across layers and epochs.
+    """
+    return np.asarray(_data(x)).astype(np.int64, copy=False)
 
 
 def _row_width(shape: tuple[int, ...]) -> int:
@@ -68,18 +82,83 @@ def launch_scatter(device, name: str, indices: np.ndarray, row_width: int) -> No
     )
 
 
+#: memoized segment-sum *plans* — the index-only prep of a segment sum (the
+#: CSR selection matrix for wide rows, the flattened (segment, column) keys
+#: for narrow ones) keyed by the index array's buffer identity + geometry.
+#: GNN aggregation sums over the same edge array every layer of every epoch,
+#: so the argsort/CSR construction runs once per graph.  Same contract as
+#: ``irregular_row_access``: index arrays are never mutated in place.
+_SEGSUM_PLANS: dict[tuple, object] = {}
+_SEGSUM_KEYS: dict[int, list[tuple]] = {}
+
+
+def _evict_segsum(owner_id: int) -> None:
+    for key in _SEGSUM_KEYS.pop(owner_id, ()):
+        _SEGSUM_PLANS.pop(key, None)
+
+
+def _clear_segsum_plans() -> None:
+    _SEGSUM_PLANS.clear()
+    _SEGSUM_KEYS.clear()
+
+
+analysis_cache.register_clear_hook(_clear_segsum_plans)
+
+
+def _segsum_plan(idx: np.ndarray, num_segments: int, cols: int):
+    """Index-only prep of a segment sum, memoized per index array."""
+    key = None
+    if analysis_cache.enabled():
+        root = _row_access_root(idx)
+        key = (id(root), idx.__array_interface__["data"][0], idx.shape,
+               idx.strides, idx.dtype.str, num_segments, cols)
+        plan = _SEGSUM_PLANS.get(key)
+        if plan is not None:
+            return plan
+    if cols >= 24:
+        order = np.argsort(idx, kind="stable")
+        indptr = np.zeros(num_segments + 1, np.int64)
+        np.cumsum(np.bincount(idx, minlength=num_segments), out=indptr[1:])
+        plan = sp.csr_matrix(
+            (np.ones(idx.size, np.float64), order, indptr),
+            shape=(num_segments, idx.size),
+        )
+    else:
+        plan = (idx[:, None] * cols + np.arange(cols)[None, :]).reshape(-1)
+    if key is not None:
+        try:
+            if key[0] not in _SEGSUM_KEYS:
+                weakref.finalize(root, _evict_segsum, key[0])
+            _SEGSUM_KEYS.setdefault(key[0], []).append(key)
+            _SEGSUM_PLANS[key] = plan
+        except TypeError:  # pragma: no cover - root doesn't support weakrefs
+            pass
+    return plan
+
+
 def segment_sum_data(src: np.ndarray, index: np.ndarray, num_segments: int) -> np.ndarray:
     """Sum rows of ``src`` into ``num_segments`` buckets chosen by ``index``.
 
-    Vectorized via bincount on flattened (segment, column) keys — the numpy
-    equivalent of an atomic scatter-add kernel.
+    The numpy equivalent of an atomic scatter-add kernel, with two
+    bit-identical formulations: wide rows go through a CSR selection-matrix
+    product (row ``s`` holds ones at the source rows with ``index == s`` in
+    ascending source order, so the float64 accumulation order matches
+    bincount element for element while skipping its ``rows x cols``
+    key/weight temporaries); narrow rows keep the bincount over flattened
+    (segment, column) keys, where the one stable argsort of the CSR route
+    would dominate.  The index-only prep of either branch is memoized per
+    index array (:func:`_segsum_plan`).
     """
     src2d = src.reshape(src.shape[0], -1)
     cols = src2d.shape[1]
-    flat_keys = (index.astype(np.int64)[:, None] * cols + np.arange(cols)[None, :]).reshape(-1)
-    sums = np.bincount(flat_keys, weights=src2d.reshape(-1),
-                       minlength=num_segments * cols)
-    return sums.reshape(num_segments, cols).reshape(
+    idx = index.astype(np.int64, copy=False)
+    plan = _segsum_plan(idx, num_segments, cols)
+    if cols >= 24:
+        sums = plan @ src2d.astype(np.float64, copy=False)
+    else:
+        sums = np.bincount(plan, weights=src2d.reshape(-1),
+                           minlength=num_segments * cols)
+    return sums.reshape(
         (num_segments,) + src.shape[1:]
     ).astype(src.dtype, copy=False)
 
@@ -90,7 +169,7 @@ class IndexSelect(Function):
     @staticmethod
     def forward(ctx, a, index):
         ad = _data(a)
-        idx = np.asarray(_data(index)).astype(np.int64).reshape(-1)
+        idx = _as_index(index).reshape(-1)
         ctx.save_for_backward(idx)
         ctx.extras["in_rows"] = ad.shape[0]
         out = ad[idx]
@@ -114,7 +193,7 @@ class Gather(Function):
     @staticmethod
     def forward(ctx, a, index, axis: int):
         ad = _data(a)
-        idx = np.asarray(_data(index)).astype(np.int64)
+        idx = _as_index(index)
         ctx.save_for_backward(idx)
         ctx.extras.update(axis=axis, shape=ad.shape)
         out = np.take_along_axis(ad, idx, axis=axis)
@@ -142,7 +221,7 @@ class ScatterAddRows(Function):
     @staticmethod
     def forward(ctx, src, index, num_segments: int):
         sd = _data(src)
-        idx = np.asarray(_data(index)).astype(np.int64).reshape(-1)
+        idx = _as_index(index).reshape(-1)
         ctx.save_for_backward(idx)
         out = segment_sum_data(sd, idx, num_segments)
         launch_scatter(ctx.device, "scatter_add", idx, _row_width(sd.shape))
@@ -163,7 +242,7 @@ class SegmentMax(Function):
     @staticmethod
     def forward(ctx, src, index, num_segments: int):
         sd = _data(src)
-        idx = np.asarray(_data(index)).astype(np.int64).reshape(-1)
+        idx = _as_index(index).reshape(-1)
         src2d = sd.reshape(sd.shape[0], -1)
         out = np.full((num_segments, src2d.shape[1]), -np.inf, dtype=src2d.dtype)
         np.maximum.at(out, idx, src2d)
@@ -194,7 +273,7 @@ class Embedding(Function):
     @staticmethod
     def forward(ctx, weight, index):
         wd = _data(weight)
-        idx = np.asarray(_data(index)).astype(np.int64)
+        idx = _as_index(index)
         ctx.save_for_backward(idx)
         ctx.extras["rows"] = wd.shape[0]
         out = wd[idx.reshape(-1)].reshape(idx.shape + (wd.shape[1],))

@@ -11,12 +11,10 @@ import numpy as np
 
 from ...gpu import AccessPattern, OpClass
 from ..autograd import Function
-from .base import COSTS, FLOAT_BYTES, launch
+from .base import COSTS, FLOAT_BYTES, as_array, launch
 
 
 def _data(x):
-    from .base import as_array
-
     return as_array(x)
 
 

@@ -12,12 +12,10 @@ from __future__ import annotations
 import numpy as np
 
 from ...gpu import AccessPattern, OpClass
-from .base import COSTS, INDEX_BYTES, device_of, launch
+from .base import COSTS, INDEX_BYTES, as_array, device_of, launch
 
 
 def _data(x):
-    from .base import as_array
-
     return as_array(x)
 
 

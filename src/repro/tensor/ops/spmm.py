@@ -15,7 +15,7 @@ import scipy.sparse as sp
 
 from ...gpu import OpClass
 from ..autograd import Function
-from .base import COSTS, FLOAT_BYTES, INDEX_BYTES, irregular_row_access, launch
+from .base import COSTS, FLOAT_BYTES, INDEX_BYTES, as_array, irregular_row_access, launch
 
 
 class SparseTensor:
@@ -30,6 +30,21 @@ class SparseTensor:
         self._csr.sum_duplicates()
         self.device = device
         self._transpose: Optional["SparseTensor"] = None
+
+    @classmethod
+    def _share(cls, csr: sp.csr_matrix, device) -> "SparseTensor":
+        """Wrap an already-canonical float32 CSR without copying.
+
+        SparseTensors are immutable, so device moves and transpose views can
+        alias one underlying scipy matrix; the index arrays keep their
+        identity, which is what lets the launch-analysis layer memoize
+        divergence measurements across devices and epochs.
+        """
+        obj = cls.__new__(cls)
+        obj._csr = csr
+        obj.device = device
+        obj._transpose = None
+        return obj
 
     @classmethod
     def from_edges(
@@ -71,14 +86,23 @@ class SparseTensor:
     def t(self) -> "SparseTensor":
         """Transpose, cached (built once, like a framework's CSC view)."""
         if self._transpose is None:
-            self._transpose = SparseTensor(self._csr.T.tocsr(), device=self.device)
+            self._transpose = SparseTensor._share(self._csr.T.tocsr(),
+                                                  self.device)
             self._transpose._transpose = self
         return self._transpose
 
     def to(self, device) -> "SparseTensor":
         if device is self.device:
             return self
-        moved = SparseTensor(self._csr, device=device)
+        moved = SparseTensor._share(self._csr, device)
+        if self._transpose is not None:
+            # Carry the cached transpose across the move: dropping it forced
+            # every later .t() to rebuild the CSC view from scratch.  No
+            # extra transfer is emitted — the transposed view shares the
+            # original arrays, exactly like a framework-side CSC index.
+            transpose = SparseTensor._share(self._transpose._csr, device)
+            transpose._transpose = moved
+            moved._transpose = transpose
         if device is not None:
             device.h2d(self._csr.data, "sparse.values")
             device.h2d(self._csr.indices, "sparse.indices")
@@ -117,7 +141,6 @@ class SpMM(Function):
 
     @staticmethod
     def forward(ctx, sparse: SparseTensor, x):
-        from .base import as_array
         xd = as_array(x)
         ctx.extras["sparse"] = sparse
         ctx.device = ctx.device or sparse.device

@@ -79,23 +79,36 @@ class Adam(Optimizer):
         self.t = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        #: reusable elementwise scratch, one buffer per parameter: the
+        #: update math runs in place instead of allocating a temporary per
+        #: ufunc (the operation order is unchanged, so the updates are
+        #: bit-identical to the naive expression)
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def _step(self) -> None:
         self.t += 1
         bias1 = 1.0 - self.beta1 ** self.t
         bias2 = 1.0 - self.beta2 ** self.t
         step_size = self.lr * math.sqrt(bias2) / bias1
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v, s in zip(self.params, self._m, self._v, self._scratch):
             if p.grad is None:
                 continue
             g = p.grad.data
             if self.weight_decay:
                 g = g + self.weight_decay * p.data
             m *= self.beta1
-            m += (1 - self.beta1) * g
+            np.multiply(g, 1.0 - self.beta1, out=s)
+            m += s
             v *= self.beta2
-            v += (1 - self.beta2) * g * g
-            p.data = p.data - step_size * m / (np.sqrt(v) + self.eps)
+            np.multiply(g, 1.0 - self.beta2, out=s)
+            s *= g
+            v += s
+            np.sqrt(v, out=s)
+            s += self.eps
+            update = np.multiply(m, step_size)
+            update /= s
+            np.subtract(p.data, update, out=update)
+            p.data = update
             # PyTorch 1.5 (the paper's version) had no fused Adam: the step
             # is seven separate elementwise kernels per parameter tensor,
             # a large contributor to the elementwise share of deep models.

@@ -1,0 +1,230 @@
+"""The launch-analysis cache must be invisible in everything but wall-clock.
+
+Three layers of evidence:
+
+* property tests — randomized descriptors analyzed through the cache return
+  records *exactly* equal (dataclass equality over every float) to the cold
+  pipeline's;
+* memo plumbing — fingerprints, the ``irregular_row_access`` expansion memo,
+  the segment-sum plan memo and the per-device launch-site memo all hit when
+  they should, evict with their owning arrays, and stand down entirely under
+  ``REPRO_ANALYSIS_CACHE=0`` semantics;
+* end-to-end — every registry workload's one-epoch kernel-stream fingerprint
+  (ordered stream digest included) is byte-identical with the cache on and
+  off.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.core.registry import WORKLOAD_KEYS
+from repro.gpu import SimulatedGPU, analysis_cache
+from repro.gpu.analysis_cache import AnalysisCache, compute, signature
+from repro.gpu.config import DEFAULT_SIMULATION
+from repro.gpu.kernel import AccessPattern, KernelDescriptor, OpClass
+from repro.tensor import manual_seed
+from repro.tensor.ops import base as ops_base
+from repro.tensor.ops import scattergather as sg
+from repro.testing import fingerprint_workload
+
+
+def _random_descriptor(rng: np.random.Generator) -> KernelDescriptor:
+    kind = rng.integers(0, 3)
+    if kind == 0:
+        access = AccessPattern.coalesced(int(rng.choice([4, 8])))
+    elif kind == 1:
+        access = AccessPattern.strided(int(rng.choice([8, 32, 128])))
+    else:
+        idx = rng.integers(0, 5000, size=int(rng.integers(1, 9000)))
+        access = AccessPattern.irregular(idx)
+    op_class = rng.choice(list(OpClass))
+    return KernelDescriptor(
+        name=f"k{rng.integers(1e6)}",
+        op_class=op_class,
+        threads=int(rng.integers(1, 1 << 20)),
+        fp32_flops=float(rng.integers(0, 1 << 30)),
+        int32_iops=float(rng.integers(0, 1 << 30)),
+        ldst_instrs=float(rng.integers(0, 1 << 24)),
+        control_instrs=float(rng.integers(0, 1 << 20)),
+        bytes_read=float(rng.integers(1, 1 << 28)),
+        bytes_written=float(rng.integers(1, 1 << 28)),
+        reuse_factor=float(rng.uniform(1.0, 8.0)),
+        block_size=int(rng.choice([128, 256, 512])),
+        phase=str(rng.choice(["forward", "backward", "optimizer"])),
+        compute_scale=float(rng.uniform(1.0, 4.0)),
+    )
+
+
+class TestCachedEqualsCold:
+    def test_randomized_descriptors(self):
+        rng = np.random.default_rng(7)
+        sim = DEFAULT_SIMULATION
+        cache = AnalysisCache()
+        with analysis_cache.override(True):
+            for _ in range(200):
+                desc = _random_descriptor(rng)
+                cold = compute(desc, sim)
+                first, hit1 = cache.analyze(desc, sim)
+                again, hit2 = cache.analyze(desc, sim)
+                assert not hit1 and hit2
+                # exact dataclass equality: every float of every metric
+                assert first == cold
+                assert again is first
+
+    def test_name_and_phase_do_not_split_records(self):
+        sim = DEFAULT_SIMULATION
+        cache = AnalysisCache()
+        a = KernelDescriptor(name="fwd", op_class=OpClass.GATHER, threads=4096,
+                             bytes_read=1e5, bytes_written=1e5, phase="forward")
+        b = KernelDescriptor(name="bwd", op_class=OpClass.GATHER, threads=4096,
+                             bytes_read=1e5, bytes_written=1e5, phase="backward")
+        assert signature(a, sim) == signature(b, sim)
+        rec_a, hit_a = cache.analyze(a, sim)
+        rec_b, hit_b = cache.analyze(b, sim)
+        assert not hit_a and hit_b and rec_b is rec_a
+
+
+class TestFingerprints:
+    def test_regular_patterns_are_closed_form(self):
+        assert AccessPattern.coalesced(4).fingerprint() == ("C", 4)
+        assert AccessPattern.strided(64, 4).fingerprint() == ("S", 64, 4)
+
+    def test_equal_content_equal_fingerprint(self):
+        idx = np.arange(10_000) % 97
+        a = AccessPattern.irregular(idx.copy())
+        b = AccessPattern.irregular(idx.copy())
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_content_different_fingerprint(self):
+        a = AccessPattern.irregular(np.arange(8192))
+        b = AccessPattern.irregular(np.arange(8192)[::-1].copy())
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_is_cached_per_pattern(self):
+        pat = AccessPattern.irregular(np.arange(8192))
+        assert pat.fingerprint() is pat.fingerprint()
+
+
+class TestRowAccessMemo:
+    def test_hit_requires_cache_enabled(self):
+        idx = np.arange(4096, dtype=np.int64)
+        with analysis_cache.override(True):
+            analysis_cache.clear()
+            a = ops_base.irregular_row_access(idx, 16)
+            b = ops_base.irregular_row_access(idx, 16)
+            assert b is a
+            c = ops_base.irregular_row_access(idx, 32)
+            assert c is not a
+        with analysis_cache.override(False):
+            d = ops_base.irregular_row_access(idx, 16)
+            e = ops_base.irregular_row_access(idx, 16)
+            assert d is not e
+
+    def test_eviction_when_index_array_dies(self):
+        with analysis_cache.override(True):
+            analysis_cache.clear()
+            idx = np.arange(2048, dtype=np.int64)
+            ops_base.irregular_row_access(idx, 8)
+            assert len(ops_base._ROW_ACCESS_CACHE) == 1
+            del idx
+            gc.collect()
+            assert len(ops_base._ROW_ACCESS_CACHE) == 0
+
+    def test_clear_flushes_memo(self):
+        with analysis_cache.override(True):
+            analysis_cache.clear()
+            idx = np.arange(1024, dtype=np.int64)
+            ops_base.irregular_row_access(idx, 8)
+            assert len(ops_base._ROW_ACCESS_CACHE) == 1
+            analysis_cache.clear()
+            assert len(ops_base._ROW_ACCESS_CACHE) == 0
+
+
+class TestSegmentSumPlans:
+    def test_values_identical_enabled_and_disabled(self):
+        rng = np.random.default_rng(3)
+        for cols in (1, 8, 64):  # narrow (bincount) and wide (CSR) branches
+            src = rng.standard_normal((500, cols)).astype(np.float32)
+            idx = rng.integers(0, 40, size=500).astype(np.int64)
+            with analysis_cache.override(True):
+                analysis_cache.clear()
+                warm1 = sg.segment_sum_data(src, idx, 40)
+                warm2 = sg.segment_sum_data(src, idx, 40)  # plan-cache hit
+            with analysis_cache.override(False):
+                cold = sg.segment_sum_data(src, idx, 40)
+            assert np.array_equal(warm1, cold)
+            assert np.array_equal(warm2, cold)
+
+    def test_plan_memo_and_eviction(self):
+        with analysis_cache.override(True):
+            analysis_cache.clear()
+            idx = np.arange(256, dtype=np.int64) % 16
+            src = np.ones((256, 64), dtype=np.float32)
+            sg.segment_sum_data(src, idx, 16)
+            assert len(sg._SEGSUM_PLANS) == 1
+            del idx
+            gc.collect()
+            assert len(sg._SEGSUM_PLANS) == 0
+
+    def test_disabled_caches_nothing(self):
+        with analysis_cache.override(False):
+            analysis_cache.clear()
+            idx = np.arange(128, dtype=np.int64) % 4
+            sg.segment_sum_data(np.ones((128, 64), np.float32), idx, 4)
+            assert len(sg._SEGSUM_PLANS) == 0
+
+
+class TestDeviceCounters:
+    def _run(self, enabled: bool):
+        with analysis_cache.override(enabled):
+            analysis_cache.clear()
+            device = SimulatedGPU()
+            for _ in range(3):
+                ops_base.launch_elementwise(device, "ew_test", 1 << 16, 2)
+                ops_base.launch_reduction(device, "red_test", 1 << 16, 1)
+            return device.stats
+
+    def test_hits_and_misses_partition_launches(self):
+        stats = self._run(enabled=True)
+        assert stats.analysis_hits + stats.analysis_misses == stats.kernel_count
+        assert stats.analysis_hits > 0  # repeats replay from the site memo
+
+    def test_disabled_counts_every_launch_as_miss(self):
+        stats = self._run(enabled=False)
+        assert stats.analysis_hits == 0
+        assert stats.analysis_misses == stats.kernel_count
+
+    def test_replay_matches_cold_clock(self):
+        # identical launch sequences must produce identical simulated clocks
+        clocks = {}
+        for enabled in (True, False):
+            with analysis_cache.override(enabled):
+                analysis_cache.clear()
+                device = SimulatedGPU()
+                for _ in range(5):
+                    ops_base.launch_elementwise(device, "ew_clock", 1 << 14, 2)
+                clocks[enabled] = (device.clock_s, device.stats.kernel_time_s,
+                                  device.stats.launch_overhead_s)
+        assert clocks[True] == clocks[False]
+
+
+@pytest.mark.parametrize("key", WORKLOAD_KEYS)
+def test_stream_fingerprint_identical_cache_on_and_off(key):
+    """The tentpole guarantee: memoization changes wall-clock, nothing else.
+
+    Full one-epoch fingerprints — ordered stream digest, per-op-class launch
+    histograms, instruction/byte totals, transfer totals and training losses
+    — must match exactly between the cached and cold pipelines.
+    """
+    manual_seed(0)
+    with analysis_cache.override(True):
+        analysis_cache.clear()
+        warm = fingerprint_workload(key)
+    with analysis_cache.override(False):
+        cold = fingerprint_workload(key)
+    analysis_cache.clear()
+    assert warm == cold

@@ -11,7 +11,10 @@ Usage::
     python -m repro memory                 # device-memory occupancy table
     python -m repro golden                 # diff kernel streams vs snapshots
     python -m repro golden --update        # regenerate tests/golden/*.json
+    python -m repro golden --traces        # diff timeline traces vs snapshots
     python -m repro bench                  # cold/parallel/warm suite timings
+    python -m repro trace dgcn             # Chrome-format kernel timeline
+    python -m repro trace tlstm --gpus 4 -o trace.json
 
 Suite-level commands accept ``--jobs N`` (characterize independent
 workloads on N worker processes) and ``--no-cache`` (recompute instead of
@@ -38,6 +41,30 @@ FIGURES = {
 }
 
 
+def _print_timeline_summary(summary: dict) -> None:
+    if not summary:
+        return
+    phases = ", ".join(f"{name} {frac * 100:.1f}%"
+                       for name, frac in summary["phase_occupancy"].items())
+    print(f"   timeline: {summary['span_count']} spans,"
+          f" {summary['idle_fraction'] * 100:.1f}% idle,"
+          f" {summary['compute_transfer_overlap'] * 100:.1f}%"
+          f" compute/transfer overlap")
+    if phases:
+        print(f"   phases:   {phases}")
+
+
+def _resolve_workload(name: str) -> str:
+    """Case-insensitive workload lookup (``dgcn`` → ``DGCN``)."""
+    from .core import registry
+
+    for key in registry.WORKLOAD_KEYS:
+        if key.lower() == name.lower():
+            return key
+    raise SystemExit(f"unknown workload {name!r}; "
+                     f"have {sorted(registry.WORKLOAD_KEYS)}")
+
+
 def _print_profile_stats(key: str, profile) -> None:
     print(f"== {key} ({len(profile.epoch_times)} epoch(s),"
           f" {profile.launch_count} kernels,"
@@ -47,6 +74,7 @@ def _print_profile_stats(key: str, profile) -> None:
     if hits + misses:
         print(f"   analysis cache: {hits}/{hits + misses} hits"
               f" ({hits / (hits + misses) * 100:.1f}%)")
+    _print_timeline_summary(getattr(profile, "timeline_summary", {}))
     for stats in profile.kernels.top_kernels(10):
         share = stats.total_time_s / profile.kernels.total_time_s * 100
         print(f"  {stats.name:<28} {stats.op_class.value:<12}"
@@ -84,7 +112,7 @@ def _print_memory(mark: GNNMark) -> None:
 
 
 def _run_golden(workload: str | None, update: bool, jobs: int | None,
-                cache) -> int:
+                cache, traces: bool = False) -> int:
     from .core import registry
     from .testing import golden
 
@@ -93,13 +121,15 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
     if unknown:
         print(f"unknown workload(s) {unknown}; have {sorted(registry.WORKLOAD_KEYS)}")
         return 2
+    update_fn = golden.update_trace_goldens if traces else golden.update_goldens
+    verify_fn = golden.verify_trace_goldens if traces else golden.verify_goldens
     if update:
-        for path in golden.update_goldens(keys, jobs=jobs, cache=cache):
+        for path in update_fn(keys, jobs=jobs, cache=cache):
             print(f"wrote {path}")
         return 0
+    flag = " --traces" if traces else ""
     failed = 0
-    for key, diffs in golden.verify_goldens(keys, jobs=jobs,
-                                            cache=cache).items():
+    for key, diffs in verify_fn(keys, jobs=jobs, cache=cache).items():
         if not diffs:
             print(f"{key}: ok")
         elif len(diffs) == 1 and diffs[0].startswith("missing snapshot"):
@@ -112,8 +142,41 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
                 print(f"  {line}")
     if failed:
         print(f"{failed} workload(s) diverged; regenerate intentionally with "
-              f"`python -m repro golden --update`")
+              f"`python -m repro golden{flag} --update`")
     return 1 if failed else 0
+
+
+def _run_trace(args) -> int:
+    from .profiling import trace
+
+    key = _resolve_workload(args.workload) if args.workload else None
+    if key is None:
+        print("the 'trace' command needs a workload key, e.g. "
+              "`python -m repro trace dgcn`")
+        return 2
+    scale = args.scale or "test"
+    try:
+        timeline = trace.trace_point(key, num_gpus=args.gpus, scale=scale,
+                                     epochs=args.epochs, seed=args.seed)
+    except ValueError as exc:  # e.g. whole-graph workloads at --gpus > 1
+        print(exc)
+        return 2
+    chrome = timeline.to_chrome()
+    trace.validate_chrome(chrome)
+    out = args.output or f"{key}_trace.json"
+    timeline.write(out)
+    summary = timeline.summary()
+    gpus = ", ".join(
+        f"gpu{pid} {dev['busy_s'] * 1e3:.2f} ms busy"
+        f" ({(1 - dev['idle_fraction']) * 100:.1f}%)"
+        for pid, dev in summary["devices"].items()
+    )
+    print(f"== {key} (scale={scale}, epochs={args.epochs},"
+          f" gpus={args.gpus}): {summary['wall_s'] * 1e3:.2f} ms wall")
+    print(f"   {gpus}")
+    _print_timeline_summary(summary)
+    print(f"wrote {out}  (load in https://ui.perfetto.dev or chrome://tracing)")
+    return 0
 
 
 def _run_bench(args) -> int:
@@ -131,7 +194,7 @@ def _run_bench(args) -> int:
     print(f"  warm cache     {report['warm_cache_s']:8.2f} s"
           f"  ({report['warm_speedup']:.1f}x,"
           f" {report['warm_cache_hits']} hits)")
-    out = args.output
+    out = args.output or "BENCH_suite.json"
     with open(out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -181,10 +244,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("command",
                         choices=["table1", *FIGURES, "fig9", "all",
-                                 "profile", "memory", "golden", "bench"],
+                                 "profile", "memory", "golden", "bench",
+                                 "trace"],
                         help="which artifact to regenerate")
     parser.add_argument("workload", nargs="?",
-                        help="workload key (for 'profile' and 'golden')")
+                        help="workload key (for 'profile', 'golden' and "
+                             "'trace'; case-insensitive for 'trace')")
     parser.add_argument("--epochs", type=int, default=1)
     parser.add_argument("--scale", default=None,
                         choices=["test", "profile", "scaling"],
@@ -199,13 +264,22 @@ def main(argv: list[str] | None = None) -> int:
                              "cache")
     parser.add_argument("--update", action="store_true",
                         help="regenerate golden snapshots instead of diffing")
+    parser.add_argument("--traces", action="store_true",
+                        help="'golden': operate on timeline-trace snapshots "
+                             "(tests/golden/trace_*.json) instead of kernel "
+                             "streams")
+    parser.add_argument("--gpus", type=int, default=1,
+                        help="'trace': number of simulated devices "
+                             "(multi-GPU runs trace the DDP allreduce)")
     parser.add_argument("--strict", action="store_true",
                         help="validate GPU-model invariants on every record "
                              "(the 'profile' command)")
     parser.add_argument("--quick", action="store_true",
                         help="'bench': time the fast test-scale configs")
-    parser.add_argument("--output", default="BENCH_suite.json",
-                        help="'bench': where to write the timing report")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output file ('trace': the Chrome JSON, default "
+                             "<KEY>_trace.json; 'bench': the timing report, "
+                             "default BENCH_suite.json)")
     parser.add_argument("--hotpath-output", default="BENCH_hotpath.json",
                         help="'bench': where to write the launch hot-path "
                              "microbench report")
@@ -217,9 +291,12 @@ def main(argv: list[str] | None = None) -> int:
     cache = False if args.no_cache else True
 
     if args.command == "golden":
-        return _run_golden(args.workload, args.update, args.jobs, cache)
+        return _run_golden(args.workload, args.update, args.jobs, cache,
+                           traces=args.traces)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "trace":
+        return _run_trace(args)
 
     mark = GNNMark(scale=args.scale or "profile", seed=args.seed)
 

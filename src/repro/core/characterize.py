@@ -9,7 +9,12 @@ from typing import Optional
 import numpy as np
 
 from ..gpu import SimulatedGPU, SimulationConfig
-from ..profiling import DivergenceInstrument, KernelProfiler, SparsityTracker
+from ..profiling import (
+    DivergenceInstrument,
+    KernelProfiler,
+    SparsityTracker,
+    trace,
+)
 from ..tensor import manual_seed
 from ..train.trainer import Trainer
 from . import registry
@@ -36,6 +41,11 @@ class WorkloadProfile:
     #: the cold pipeline.  hits + misses == launch_count.
     analysis_hits: int = 0
     analysis_misses: int = 0
+    #: :meth:`repro.profiling.trace.Timeline.summary` of the profiled run —
+    #: wall-clock, device idle fraction, compute/transfer overlap and
+    #: per-phase occupancy (small and picklable; the full span list is not
+    #: retained across cache/process boundaries)
+    timeline_summary: dict = field(default_factory=dict)
     #: back-reference to the trained workload (set by profile_workload);
     #: in-process only — dropped when the profile crosses a process or
     #: cache boundary (it drags the whole device graph along)
@@ -129,10 +139,18 @@ def profile_workload(
     kernels = KernelProfiler().attach(device)
     sparsity = SparsityTracker().attach(device)
     divergence = DivergenceInstrument().attach(device)
+    # Timeline tracing rides along unless the caller brought a tracer of
+    # their own (then their trace owns the run and the summary is theirs).
+    tracer = None
+    if trace.active() is None:
+        tracer = trace.install(trace.Tracer().attach(device))
     trainer = Trainer(workload=workload, device=device)
     try:
         results = trainer.run(epochs=epochs, seed=seed)
     finally:
+        if tracer is not None:
+            trace.uninstall()
+            tracer.detach()
         if checker is not None:
             checker.detach()
 
@@ -151,6 +169,7 @@ def profile_workload(
         launch_count=device.stats.kernel_count,
         analysis_hits=device.stats.analysis_hits,
         analysis_misses=device.stats.analysis_misses,
+        timeline_summary=tracer.timeline().summary() if tracer else {},
     )
     if hasattr(workload, "model"):
         # Adam keeps two fp32 moments per parameter

@@ -25,6 +25,7 @@ boundaries without pickling closures:
 * ``("profile", {...})``      → :func:`repro.core.characterize.profile_workload`
 * ``("fingerprint", {...})``  → :func:`repro.testing.golden.fingerprint_workload`
 * ``("scaling", {...})``      → :func:`repro.train.ddp.run_scaling_point`
+* ``("trace", {...})``        → :func:`repro.profiling.trace.trace_fingerprint`
 
 ``jobs=None`` resolves the worker count from ``$REPRO_JOBS`` (default 1),
 which is how CI exercises the parallel path under the stock pytest suite.
@@ -62,10 +63,17 @@ def _run_scaling(params: dict):
     return ddp.run_scaling_point(**params)
 
 
+def _run_trace(params: dict):
+    from ..profiling import trace
+
+    return trace.trace_fingerprint(**params)
+
+
 _TASK_RUNNERS = {
     "profile": _run_profile,
     "fingerprint": _run_fingerprint,
     "scaling": _run_scaling,
+    "trace": _run_trace,
 }
 
 
@@ -180,6 +188,26 @@ def fingerprint_suite(keys: Optional[Sequence[str]] = None,
         keys = list(registry.WORKLOAD_KEYS)
     tasks: list[Task] = [
         ("fingerprint", dict(key=k, scale=scale, epochs=epochs, seed=seed))
+        for k in keys
+    ]
+    return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))
+
+
+def trace_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
+                epochs: int = 1, seed: int = 0, num_gpus: int = 1,
+                jobs: Optional[int] = None, cache=None) -> dict:
+    """Golden timeline-trace fingerprints for ``keys``, keyed by workload.
+
+    Each fingerprint digests only its own workload's canonical trace JSON
+    (simulated-clock timestamps, canonical span order), so — like stream
+    fingerprints — parallel generation and cache replay are byte-identical
+    to the serial loop.
+    """
+    if keys is None:
+        keys = list(registry.WORKLOAD_KEYS)
+    tasks: list[Task] = [
+        ("trace", dict(key=k, scale=scale, epochs=epochs, seed=seed,
+                       num_gpus=num_gpus))
         for k in keys
     ]
     return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))

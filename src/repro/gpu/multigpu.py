@@ -67,10 +67,32 @@ class MultiGPUSystem:
         """Perform the allreduce: advance every device clock past it.
 
         Returns the collective's duration.  The collective is synchronizing,
-        so all devices first align on the slowest clock.
+        so all devices first align on the slowest clock.  When a tracer is
+        installed (:mod:`repro.profiling.trace`), every device's pid gets one
+        span per gradient bucket — the ring pipelines buckets back-to-back,
+        so bucket ``i`` occupies ``[barrier + i*d/B, barrier + (i+1)*d/B)``.
         """
         cost = self.allreduce_cost(nbytes)
         barrier = max(dev.clock_s for dev in self.devices)
+        if cost.duration_s > 0:
+            from ..profiling import trace
+
+            tracer = trace.active()
+            if tracer is not None:
+                per_bucket = cost.duration_s / cost.num_buckets
+                for dev in self.devices:
+                    remaining = int(nbytes)
+                    for b in range(cost.num_buckets):
+                        bucket = min(self.BUCKET_BYTES, remaining)
+                        remaining -= bucket
+                        tracer.add_span(
+                            f"allreduce.bucket{b}", trace.CAT_ALLREDUCE,
+                            dev.device_id, "allreduce",
+                            barrier + b * per_bucket,
+                            barrier + (b + 1) * per_bucket,
+                            {"nbytes": bucket,
+                             "ring_peers": len(self.devices)},
+                        )
         for dev in self.devices:
             dev.clock_s = barrier + cost.duration_s
             dev.host_clock_s = dev.clock_s

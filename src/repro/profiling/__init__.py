@@ -1,10 +1,13 @@
 """Profiling toolchain: nvprof-style kernel metrics, NVBit-style divergence
-instrumentation, transfer-sparsity tracking, and report rendering."""
+instrumentation, transfer-sparsity tracking, kernel-timeline tracing, and
+report rendering."""
 
+from . import trace
 from .nvbit import DivergenceInstrument, DivergenceRecord
 from .nvprof import METRIC_SAMPLE_LIMIT, KernelProfiler, KernelStats
 from .report import format_scaling, format_series, format_table
 from .sparsity import SparsityTracker, TransferSample
+from .trace import Span, Timeline, Tracer
 
 __all__ = [
     "DivergenceInstrument",
@@ -12,9 +15,13 @@ __all__ = [
     "KernelProfiler",
     "KernelStats",
     "METRIC_SAMPLE_LIMIT",
+    "Span",
     "SparsityTracker",
+    "Timeline",
+    "Tracer",
     "TransferSample",
     "format_scaling",
     "format_series",
     "format_table",
+    "trace",
 ]

@@ -22,6 +22,17 @@ class Optimizer:
         self.params = [p for p in params]
         if not self.params:
             raise ValueError("optimizer got an empty parameter list")
+        #: called (with this optimizer) right before the update kernels of
+        #: each step — where DDP's gradient allreduce sits.  Empty unless a
+        #: traced multi-GPU run registers one, so the hot path only pays an
+        #: empty-list iteration per step.
+        self._pre_step_hooks: list = []
+
+    def add_pre_step_hook(self, hook) -> None:
+        self._pre_step_hooks.append(hook)
+
+    def remove_pre_step_hook(self, hook) -> None:
+        self._pre_step_hooks.remove(hook)
 
     def zero_grad(self) -> None:
         """PyTorch 1.5 semantics: one fill kernel per gradient buffer."""
@@ -32,6 +43,8 @@ class Optimizer:
             p.grad = None
 
     def step(self) -> None:
+        for hook in self._pre_step_hooks:
+            hook(self)
         with autograd.phase("optimizer"):
             self._step()
 

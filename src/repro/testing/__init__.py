@@ -19,15 +19,21 @@ from .gradcheck import (
 from .golden import (
     StreamRecorder,
     compare_fingerprints,
+    compare_trace_fingerprints,
     fingerprint_suite,
     fingerprint_workload,
     golden_dir,
     golden_path,
     load_golden,
+    load_trace_golden,
     save_golden,
+    save_trace_golden,
+    trace_golden_path,
     update_goldens,
+    update_trace_goldens,
     verify_golden,
     verify_goldens,
+    verify_trace_goldens,
 )
 from .invariants import (
     InvariantChecker,
@@ -50,6 +56,7 @@ __all__ = [
     "check_stalls",
     "check_transfer",
     "compare_fingerprints",
+    "compare_trace_fingerprints",
     "fingerprint_suite",
     "fingerprint_workload",
     "golden_dir",
@@ -57,9 +64,14 @@ __all__ = [
     "gradcheck",
     "gradcheck_module",
     "load_golden",
+    "load_trace_golden",
     "save_golden",
+    "save_trace_golden",
     "strict_mode",
+    "trace_golden_path",
     "update_goldens",
+    "update_trace_goldens",
     "verify_golden",
     "verify_goldens",
+    "verify_trace_goldens",
 ]

@@ -299,3 +299,111 @@ def update_goldens(keys: Optional[list[str]] = None, scale: str = "test",
     fingerprints = fingerprint_suite(keys, scale=scale, epochs=epochs,
                                      seed=seed, jobs=jobs, cache=cache)
     return [save_golden(fingerprints[key]) for key in keys]
+
+
+# -- golden timeline traces ---------------------------------------------------
+# Trace fingerprints (repro.profiling.trace.trace_fingerprint) extend the
+# stream-digest contract to the *time domain*: they pin not just which
+# kernels launch in which order, but when every span sits on the simulated
+# clock.  Timestamps come from the analytical device model, so they are as
+# bit-stable as the stream itself — and must stay byte-identical across
+# --jobs counts and analysis-cache on/off (tests/test_trace_golden.py).
+
+def trace_golden_path(key: str) -> Path:
+    return golden_dir() / f"trace_{key}.json"
+
+
+def load_trace_golden(key: str) -> dict:
+    path = trace_golden_path(key)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no golden trace for {key!r} at {path}; generate it with "
+            f"`python -m repro golden --traces --update`"
+        )
+    return json.loads(path.read_text())
+
+
+def save_trace_golden(fingerprint: dict) -> Path:
+    path = trace_golden_path(fingerprint["workload"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(fingerprint, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_trace_fingerprints(expected: dict, actual: dict) -> list[str]:
+    """Human-readable diffs (empty when traces match byte-for-byte).
+
+    Every field compares exactly: span timestamps are integer microseconds
+    on the simulated clock, so there is no float-accumulation slack to
+    forgive — any drift means the timing model or the stream changed.
+    """
+    diffs: list[str] = []
+    for field in ("version", "workload", "scale", "epochs", "seed",
+                  "num_gpus", "span_count", "wall_us"):
+        if expected.get(field) != actual.get(field):
+            diffs.append(f"{field}: expected {expected.get(field)!r}, "
+                         f"got {actual.get(field)!r}")
+    exp, act = expected.get("span_counts", {}), actual.get("span_counts", {})
+    for name in sorted(set(exp) | set(act)):
+        if exp.get(name, 0) != act.get(name, 0):
+            diffs.append(f"span_counts[{name}]: expected {exp.get(name, 0)}, "
+                         f"got {act.get(name, 0)}")
+    if expected.get("trace_digest") != actual.get("trace_digest"):
+        diffs.append(
+            f"trace_digest: expected {expected.get('trace_digest')}, "
+            f"got {actual.get('trace_digest')} — the canonical trace JSON "
+            f"changed even though the summary stats above "
+            f"{'also differ' if diffs else 'still match'}"
+        )
+    return diffs
+
+
+def verify_trace_goldens(keys: Optional[list[str]] = None,
+                         jobs: Optional[int] = None,
+                         cache=None) -> dict[str, list[str]]:
+    """Diff fresh trace fingerprints against committed snapshots.
+
+    Mirrors :func:`verify_goldens`: traces regenerate under each snapshot's
+    own recorded parameters, missing snapshots surface as one-line diffs,
+    and generation fans out through the execution engine.
+    """
+    from ..core import executor
+
+    keys = list(keys or registry.WORKLOAD_KEYS)
+    expected: dict[str, dict] = {}
+    diffs: dict[str, list[str]] = {}
+    for key in keys:
+        try:
+            expected[key] = load_trace_golden(key)
+        except FileNotFoundError as exc:
+            diffs[key] = [f"missing snapshot: {exc}"]
+
+    present = [k for k in keys if k in expected]
+    by_params: dict[tuple, list[str]] = {}
+    for key in present:
+        exp = expected[key]
+        params = (exp.get("scale", "test"), exp.get("epochs", 1),
+                  exp.get("seed", 0), exp.get("num_gpus", 1))
+        by_params.setdefault(params, []).append(key)
+    actual: dict[str, dict] = {}
+    for (scale, epochs, seed, num_gpus), group in by_params.items():
+        actual.update(executor.trace_suite(
+            group, scale=scale, epochs=epochs, seed=seed, num_gpus=num_gpus,
+            jobs=jobs, cache=cache,
+        ))
+    for key in present:
+        diffs[key] = compare_trace_fingerprints(expected[key], actual[key])
+    return {key: diffs[key] for key in keys}
+
+
+def update_trace_goldens(keys: Optional[list[str]] = None, scale: str = "test",
+                         epochs: int = 1, seed: int = 0,
+                         jobs: Optional[int] = None,
+                         cache=None) -> list[Path]:
+    """Regenerate trace snapshots for ``keys`` (default: whole registry)."""
+    from ..core import executor
+
+    keys = list(keys or registry.WORKLOAD_KEYS)
+    fingerprints = executor.trace_suite(keys, scale=scale, epochs=epochs,
+                                        seed=seed, jobs=jobs, cache=cache)
+    return [save_trace_golden(fingerprints[key]) for key in keys]

@@ -6,6 +6,7 @@ from .ddp import (
     run_scaling_study,
     run_weak_scaling_point,
     run_weak_scaling_study,
+    trace_scaling_point,
 )
 from .trainer import EpochResult, TimeToTrain, Trainer
 
@@ -18,4 +19,5 @@ __all__ = [
     "run_scaling_study",
     "run_weak_scaling_point",
     "run_weak_scaling_study",
+    "trace_scaling_point",
 ]

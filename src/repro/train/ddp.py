@@ -171,6 +171,65 @@ def run_scaling_study(
     return results
 
 
+def trace_scaling_point(
+    key: str,
+    num_gpus: int,
+    scale: str = "test",
+    epochs: int = 1,
+    seed: int = 0,
+    sim: SimulationConfig | None = None,
+):
+    """Trace a DDP epoch: per-step allreduce interleaved with the stream.
+
+    Unlike :func:`run_scaling_point` (which accounts the collectives
+    analytically after timing the compute), the traced run performs a ring
+    allreduce *inside every optimizer step* — registered as a pre-step hook,
+    exactly where DDP's gradient synchronization sits between the backward
+    kernels and the parameter-update kernels — so the timeline shows how
+    bucket spans interleave with compute.
+
+    DDP replicas are symmetric (every device runs the same stream shape on
+    the same clock), so the simulation traces device 0 and replicates its
+    spans to every peer pid.  The per-device batch is left at the workload's
+    configured size: the per-device kernel *sequence* is therefore identical
+    at every GPU count and only timestamps shift with the collectives —
+    the invariant ``tests/test_train_ddp.py`` pins.
+    """
+    from ..gpu import MultiGPUSystem
+    from ..profiling import trace
+    from .trainer import Trainer
+
+    spec = registry.get(key)
+    if spec.ddp == "none" and num_gpus > 1:
+        raise ValueError(
+            f"{key} is excluded from multi-GPU scaling (whole-graph training)"
+        )
+    manual_seed(seed)
+    system = MultiGPUSystem(num_gpus, sim)
+    device = system.devices[0]
+    replica = spec.build(device=device, scale=scale)
+    device.reset()
+    grad_bytes = replica.optimizer.gradient_bytes()
+
+    hook = None
+    if num_gpus > 1:
+        def hook(_optimizer) -> None:
+            system.allreduce(grad_bytes)
+
+        replica.optimizer.add_pre_step_hook(hook)
+    try:
+        with trace.session(devices=(device,)) as tracer:
+            Trainer(workload=replica, device=device).run(epochs=epochs,
+                                                         seed=seed)
+    finally:
+        if hook is not None:
+            replica.optimizer.remove_pre_step_hook(hook)
+    timeline = tracer.timeline()
+    if num_gpus > 1:
+        timeline = timeline.replicate_device(0, range(1, num_gpus))
+    return timeline
+
+
 def run_weak_scaling_point(
     key: str,
     num_gpus: int,

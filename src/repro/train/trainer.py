@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..gpu.device import SimulatedGPU
+from ..profiling import trace
 
 
 @dataclass
@@ -44,10 +45,13 @@ class Trainer:
 
     def run(self, epochs: int, seed: int = 0) -> list[EpochResult]:
         rng = np.random.default_rng(seed)
+        tracer = trace.active()  # one check per run, zero-cost when absent
         for epoch in range(epochs):
             t0 = self.device.elapsed_s()
             k0 = self.device.stats.kernel_count
             metrics = self.workload.train_epoch(rng)
+            if tracer is not None:
+                tracer.end_epoch(self.device, len(self.history), t0)
             self.history.append(
                 EpochResult(
                     epoch=len(self.history),
@@ -74,9 +78,13 @@ class Trainer:
         if mode not in ("min", "max"):
             raise ValueError("mode must be 'min' or 'max'")
         rng = np.random.default_rng(seed)
+        tracer = trace.active()
         start = self.device.elapsed_s()
         for epoch in range(max_epochs):
+            t0 = self.device.elapsed_s()
             metrics = self.workload.train_epoch(rng)
+            if tracer is not None:
+                tracer.end_epoch(self.device, epoch, t0)
             if metric not in metrics:
                 raise KeyError(
                     f"workload reports {sorted(metrics)}, not {metric!r}"

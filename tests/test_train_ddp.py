@@ -5,7 +5,8 @@ import pytest
 
 from repro.core import registry
 from repro.gpu import SimulatedGPU
-from repro.train import Trainer, run_scaling_point
+from repro.profiling import trace
+from repro.train import Trainer, run_scaling_point, trace_scaling_point
 from repro.train.ddp import _count_steps, _shard_batch
 
 
@@ -79,3 +80,94 @@ class TestScalingPoints:
         four = run_scaling_point("TLSTM", 4, scale="test", epochs=1)
         speedup = one.epoch_time_s / four.epoch_time_s
         assert speedup < 1.5
+
+
+@pytest.fixture(scope="module")
+def ddp_traces():
+    """TLSTM timelines at 1, 2 and 4 simulated GPUs."""
+    return {n: trace_scaling_point("TLSTM", n, scale="test") for n in (1, 2, 4)}
+
+
+def _kernel_sequence(timeline, pid):
+    return [(s.name, s.arg("op"), s.arg("phase"))
+            for s in timeline.query(pid=pid, cat=trace.CAT_KERNEL)]
+
+
+class TestTracedDDP:
+    def test_arga_excluded(self):
+        with pytest.raises(ValueError):
+            trace_scaling_point("ARGA", 2, scale="test")
+
+    def test_single_gpu_has_no_allreduce_spans(self, ddp_traces):
+        assert not ddp_traces[1].query(cat=trace.CAT_ALLREDUCE)
+
+    def test_every_device_gets_allreduce_spans(self, ddp_traces):
+        for n in (2, 4):
+            timeline = ddp_traces[n]
+            assert timeline.device_ids() == list(range(n))
+            for pid in range(n):
+                assert timeline.query(pid=pid, cat=trace.CAT_ALLREDUCE)
+
+    def test_allreduce_sits_between_backward_and_optimizer(self, ddp_traces):
+        """DDP's gradient sync fires after the backward kernels of its step
+        and before the parameter updates — bucket spans must interleave
+        exactly there on every device."""
+        for n in (2, 4):
+            timeline = ddp_traces[n]
+            for pid in timeline.device_ids():
+                events = sorted(
+                    timeline.query(pid=pid, cat=trace.CAT_KERNEL)
+                    + timeline.query(pid=pid, cat=trace.CAT_ALLREDUCE),
+                    key=lambda s: s.ts_us,
+                )
+                for i, span in enumerate(events):
+                    if span.cat != trace.CAT_ALLREDUCE:
+                        continue
+                    before = [e for e in events[:i]
+                              if e.cat == trace.CAT_KERNEL]
+                    assert before and before[-1].arg("phase") == "backward"
+                    assert span.ts_us >= before[-1].end_us - 1e-6
+                    after = [e for e in events[i + 1:]
+                             if e.cat == trace.CAT_KERNEL]
+                    assert after and after[0].arg("phase") == "optimizer"
+
+    def test_replicas_identical_within_a_trace(self, ddp_traces):
+        """Symmetric DDP: every pid carries the same spans, timestamps
+        included (allreduce buckets too — the collective is a barrier)."""
+        for n in (2, 4):
+            timeline = ddp_traces[n]
+            base = [(s.name, s.cat, s.tid, s.ts_us, s.dur_us, s.args)
+                    for s in timeline.query(pid=0)]
+            for pid in range(1, n):
+                assert [(s.name, s.cat, s.tid, s.ts_us, s.dur_us, s.args)
+                        for s in timeline.query(pid=pid)] == base
+
+    def test_kernel_sequence_invariant_across_gpu_counts(self, ddp_traces):
+        """Scaling the device count must not change what any device runs —
+        only *when* (the collectives push later steps back)."""
+        base = _kernel_sequence(ddp_traces[1], 0)
+        assert len(base) > 100
+        for n in (2, 4):
+            for pid in range(n):
+                assert _kernel_sequence(ddp_traces[n], pid) == base
+
+    def test_timestamps_shift_with_collectives(self, ddp_traces):
+        one = [s.ts_us for s in ddp_traces[1].query(pid=0,
+                                                    cat=trace.CAT_KERNEL)]
+        four = [s.ts_us for s in ddp_traces[4].query(pid=0,
+                                                     cat=trace.CAT_KERNEL)]
+        assert len(one) == len(four)
+        assert four != one
+        assert ddp_traces[4].wall_us() > ddp_traces[1].wall_us()
+
+    def test_bucket_spans_account_full_payload(self, ddp_traces):
+        timeline = ddp_traces[2]
+        buckets = timeline.query(pid=0, cat=trace.CAT_ALLREDUCE)
+        spec = registry.get("TLSTM")
+        replica = spec.build(scale="test")
+        grad_bytes = replica.optimizer.gradient_bytes()
+        # spans group into optimizer steps; every step moves the full payload
+        total = sum(b.arg("nbytes") for b in buckets)
+        steps = len({b.ts_us for b in buckets
+                     if b.name == "allreduce.bucket0"})
+        assert total == grad_bytes * steps

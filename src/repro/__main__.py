@@ -9,9 +9,12 @@ Usage::
     python -m repro profile TLSTM          # one workload, nvprof-style
     python -m repro profile --jobs 4       # whole suite, 4 worker processes
     python -m repro memory                 # device-memory occupancy table
+    python -m repro memstats DGCN          # HBM allocator report, one workload
+    python -m repro memstats               # peak_mem table, whole suite
     python -m repro golden                 # diff kernel streams vs snapshots
     python -m repro golden --update        # regenerate tests/golden/*.json
     python -m repro golden --traces        # diff timeline traces vs snapshots
+    python -m repro golden --memory        # diff HBM reports vs snapshots
     python -m repro bench                  # cold/parallel/warm suite timings
     python -m repro trace dgcn             # Chrome-format kernel timeline
     python -m repro trace tlstm --gpus 4 -o trace.json
@@ -19,6 +22,10 @@ Usage::
 Suite-level commands accept ``--jobs N`` (characterize independent
 workloads on N worker processes) and ``--no-cache`` (recompute instead of
 replaying unchanged profiles from the persistent on-disk cache).
+``profile``, ``trace`` and ``memstats`` accept ``--metrics`` (dump the
+process-wide metrics registry in Prometheus text format afterwards) and
+``--metrics-output FILE`` (write the canonical-JSON snapshot there, plus a
+sibling ``.prom`` Prometheus dump).
 """
 
 from __future__ import annotations
@@ -111,8 +118,78 @@ def _print_memory(mark: GNNMark) -> None:
               f"{mem['data_fraction'] * 100:>7.1f}%")
 
 
+def _dump_metrics(output: str | None) -> None:
+    """Print (or write) the process-wide metrics registry.
+
+    Without ``--metrics-output`` the Prometheus text format goes to stdout;
+    with it, the canonical-JSON snapshot lands at the given path and the
+    Prometheus dump beside it as ``<stem>.prom``.
+    """
+    from pathlib import Path
+
+    from .profiling import metrics
+
+    reg = metrics.registry()
+    if output is None:
+        print(f"\n# metrics registry (digest {reg.digest()[:12]})")
+        print(reg.to_prometheus(), end="")
+        return
+    path = Path(output)
+    path.write_text(reg.to_json())
+    prom = path.with_suffix(".prom")
+    prom.write_text(reg.to_prometheus())
+    print(f"wrote {path} and {prom} (metrics digest {reg.digest()[:12]})")
+
+
+def _print_memstats(args, cache) -> int:
+    from .core import characterize, executor
+    from .profiling.report import format_memory_table
+
+    scale = args.scale or "test"
+    if args.workload:
+        key = _resolve_workload(args.workload)
+        report = characterize.measure_memory(key, scale=scale,
+                                             epochs=args.epochs,
+                                             seed=args.seed,
+                                             strict=args.strict)
+        cap = report["capacity_bytes"]
+        print(f"== {key} (scale={scale}, epochs={args.epochs}): simulated HBM")
+        print(f"   peak live     {report['peak_live_bytes'] / 1e6:10.2f} MB")
+        print(f"   peak reserved {report['peak_reserved_bytes'] / 1e6:10.2f} MB"
+              f"  ({report['utilization'] * 100:.2f}% of"
+              f" {cap / 2**30:.0f} GiB capacity)")
+        print(f"   live at end   {report['live_bytes'] / 1e6:10.2f} MB"
+              f"  (reserved {report['reserved_bytes'] / 1e6:.2f} MB,"
+              f" fragmentation {report['fragmentation'] * 100:.1f}%)")
+        print(f"   allocator     {report['alloc_count']} allocs /"
+              f" {report['free_count']} frees,"
+              f" {report['segment_allocs']} segment allocs,"
+              f" {report['bucket_reuse_count']} bucket reuses,"
+              f" internal frag {report['internal_fragmentation'] * 100:.1f}%")
+        if report["oom_events"]:
+            print(f"   OOM           {report['oom_events']} capacity"
+                  f" violation(s) — rerun with --strict to raise")
+        print("   phase watermarks (peak live MB):")
+        for phase, peak in report["phase_watermarks"].items():
+            print(f"     {phase:<12}{peak / 1e6:10.2f}")
+        epochs = ", ".join(f"{w / 1e6:.2f}" for w in report["epoch_watermarks"])
+        print(f"   epoch watermarks (MB): {epochs}")
+        print("   top allocation labels (MB requested, count):")
+        for name, nbytes, count in report["top_labels"]:
+            print(f"     {name:<20}{nbytes / 1e6:10.2f}  x{count}")
+        print(f"   memory digest {report['memory_digest'][:16]}")
+    else:
+        reports = executor.memstats_suite(scale=scale, epochs=args.epochs,
+                                          seed=args.seed, strict=args.strict,
+                                          jobs=args.jobs, cache=cache)
+        print(format_memory_table(reports))
+    if args.metrics or args.metrics_output:
+        _dump_metrics(args.metrics_output)
+    return 0
+
+
 def _run_golden(workload: str | None, update: bool, jobs: int | None,
-                cache, traces: bool = False) -> int:
+                cache, traces: bool = False, memory: bool = False) -> int:
     from .core import registry
     from .testing import golden
 
@@ -121,13 +198,20 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
     if unknown:
         print(f"unknown workload(s) {unknown}; have {sorted(registry.WORKLOAD_KEYS)}")
         return 2
-    update_fn = golden.update_trace_goldens if traces else golden.update_goldens
-    verify_fn = golden.verify_trace_goldens if traces else golden.verify_goldens
+    if memory:
+        update_fn = golden.update_memory_goldens
+        verify_fn = golden.verify_memory_goldens
+    elif traces:
+        update_fn = golden.update_trace_goldens
+        verify_fn = golden.verify_trace_goldens
+    else:
+        update_fn = golden.update_goldens
+        verify_fn = golden.verify_goldens
     if update:
         for path in update_fn(keys, jobs=jobs, cache=cache):
             print(f"wrote {path}")
         return 0
-    flag = " --traces" if traces else ""
+    flag = " --memory" if memory else (" --traces" if traces else "")
     failed = 0
     for key, diffs in verify_fn(keys, jobs=jobs, cache=cache).items():
         if not diffs:
@@ -156,8 +240,10 @@ def _run_trace(args) -> int:
         return 2
     scale = args.scale or "test"
     try:
+        # memory counter tracks ride along on single-device traces only
         timeline = trace.trace_point(key, num_gpus=args.gpus, scale=scale,
-                                     epochs=args.epochs, seed=args.seed)
+                                     epochs=args.epochs, seed=args.seed,
+                                     memory=args.gpus == 1)
     except ValueError as exc:  # e.g. whole-graph workloads at --gpus > 1
         print(exc)
         return 2
@@ -176,6 +262,8 @@ def _run_trace(args) -> int:
     print(f"   {gpus}")
     _print_timeline_summary(summary)
     print(f"wrote {out}  (load in https://ui.perfetto.dev or chrome://tracing)")
+    if args.metrics or args.metrics_output:
+        _dump_metrics(args.metrics_output)
     return 0
 
 
@@ -244,12 +332,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("command",
                         choices=["table1", *FIGURES, "fig9", "all",
-                                 "profile", "memory", "golden", "bench",
-                                 "trace"],
+                                 "profile", "memory", "memstats", "golden",
+                                 "bench", "trace"],
                         help="which artifact to regenerate")
     parser.add_argument("workload", nargs="?",
-                        help="workload key (for 'profile', 'golden' and "
-                             "'trace'; case-insensitive for 'trace')")
+                        help="workload key (for 'profile', 'memstats', "
+                             "'golden' and 'trace'; case-insensitive for "
+                             "'trace' and 'memstats')")
     parser.add_argument("--epochs", type=int, default=1)
     parser.add_argument("--scale", default=None,
                         choices=["test", "profile", "scaling"],
@@ -268,6 +357,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="'golden': operate on timeline-trace snapshots "
                              "(tests/golden/trace_*.json) instead of kernel "
                              "streams")
+    parser.add_argument("--memory", action="store_true",
+                        help="'golden': operate on device-memory snapshots "
+                             "(tests/golden/memory_*.json) instead of kernel "
+                             "streams")
+    parser.add_argument("--metrics", action="store_true",
+                        help="after 'profile'/'trace'/'memstats': dump the "
+                             "process-wide metrics registry (Prometheus text "
+                             "format)")
+    parser.add_argument("--metrics-output", default=None,
+                        help="write the metrics snapshot as canonical JSON "
+                             "to this file, plus a sibling .prom dump")
     parser.add_argument("--gpus", type=int, default=1,
                         help="'trace': number of simulated devices "
                              "(multi-GPU runs trace the DDP allreduce)")
@@ -292,11 +392,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "golden":
         return _run_golden(args.workload, args.update, args.jobs, cache,
-                           traces=args.traces)
+                           traces=args.traces, memory=args.memory)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "memstats":
+        return _print_memstats(args, cache)
 
     mark = GNNMark(scale=args.scale or "profile", seed=args.seed)
 
@@ -310,6 +412,8 @@ def main(argv: list[str] | None = None) -> int:
         else:
             _print_profile_suite(mark, args.epochs, args.strict, args.jobs,
                                  cache)
+        if args.metrics or args.metrics_output:
+            _dump_metrics(args.metrics_output)
         return 0
     if args.command == "memory":
         _print_memory(mark)

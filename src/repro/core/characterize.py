@@ -175,7 +175,64 @@ def profile_workload(
         # Adam keeps two fp32 moments per parameter
         profile.model_bytes = float(workload.model.parameter_bytes() * 3)
     profile._workload = workload
+    # Absorb the run's ad-hoc stats into the process-wide metrics registry
+    # (pull-model: a handful of gauge writes, nothing on the launch path).
+    from ..profiling import metrics as metrics_mod
+
+    metrics_mod.collect_device(device)
+    metrics_mod.collect_profile(profile)
     return profile
+
+
+def measure_memory(
+    key: str,
+    scale: str = "test",
+    epochs: int = 1,
+    seed: int = 0,
+    sim: Optional[SimulationConfig] = None,
+    strict: bool = False,
+) -> dict:
+    """Train a workload under device-memory tracking and report HBM usage.
+
+    Unlike :func:`profile_workload`, the tracker attaches *before* build so
+    parameter and optimizer-state allocations are captured (the clock still
+    resets after build — setup time stays excluded, setup memory doesn't).
+    With ``strict=True`` exceeding the configured HBM capacity raises
+    :class:`repro.gpu.memory.OOMError` instead of warning.
+
+    The cyclic garbage collector is suspended for the run, so every tracked
+    free happens at its refcount-determined instant — the report (and its
+    digest) is a pure function of ``(key, scale, epochs, seed)``, making
+    memory snapshots golden-testable across jobs/cache configurations.
+    """
+    import gc
+
+    from ..gpu import memory as gpu_memory
+    from ..tensor import autograd
+
+    spec = registry.get(key)
+    manual_seed(seed)
+    device = SimulatedGPU(sim)
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        with gpu_memory.track(device, strict=strict) as tracker:
+            with autograd.phase("setup"):
+                workload = spec.build(device=device, scale=scale)
+            device.reset()
+            Trainer(workload=workload, device=device).run(epochs=epochs,
+                                                          seed=seed)
+            report = tracker.report()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    report.update(workload=key, scale=scale, epochs=epochs, seed=seed)
+    report["memory_digest"] = gpu_memory.digest_report(report)
+    from ..profiling import metrics as metrics_mod
+
+    metrics_mod.collect_device(device)
+    return report
 
 
 @dataclass

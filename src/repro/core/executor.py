@@ -26,6 +26,7 @@ boundaries without pickling closures:
 * ``("fingerprint", {...})``  → :func:`repro.testing.golden.fingerprint_workload`
 * ``("scaling", {...})``      → :func:`repro.train.ddp.run_scaling_point`
 * ``("trace", {...})``        → :func:`repro.profiling.trace.trace_fingerprint`
+* ``("memstats", {...})``     → :func:`repro.core.characterize.measure_memory`
 
 ``jobs=None`` resolves the worker count from ``$REPRO_JOBS`` (default 1),
 which is how CI exercises the parallel path under the stock pytest suite.
@@ -69,11 +70,18 @@ def _run_trace(params: dict):
     return trace.trace_fingerprint(**params)
 
 
+def _run_memstats(params: dict):
+    from . import characterize
+
+    return characterize.measure_memory(**params)
+
+
 _TASK_RUNNERS = {
     "profile": _run_profile,
     "fingerprint": _run_fingerprint,
     "scaling": _run_scaling,
     "trace": _run_trace,
+    "memstats": _run_memstats,
 }
 
 
@@ -88,10 +96,18 @@ def execute_task(task: Task):
     kind, params = task
     if kind not in _TASK_RUNNERS:
         raise ValueError(f"unknown task kind {kind!r}; have {sorted(_TASK_RUNNERS)}")
+    from ..profiling import metrics
     from ..tensor import manual_seed
 
     manual_seed(int(params.get("seed", 0)))
-    return _TASK_RUNNERS[kind](params)
+    t0 = time.perf_counter()
+    result = _TASK_RUNNERS[kind](params)
+    # Per-task wall latency into the metrics registry.  This runs once per
+    # *task* (a whole workload characterization), never per launch, so the
+    # kernel hot path stays untouched; in a pool worker the observation
+    # lands in that worker's registry and dies with the process.
+    metrics.observe_task(kind, time.perf_counter() - t0, cached=False)
+    return result
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -122,14 +138,19 @@ def run_tasks(tasks: Sequence[Task], jobs: Optional[int] = None,
     jobs = resolve_jobs(jobs)
     store: Optional[ProfileCache] = resolve_cache(cache)
 
+    from ..profiling import metrics
+
     results: list = [None] * len(tasks)
     keys: list = [None] * len(tasks)
     pending: list[int] = []
     for i, (kind, params) in enumerate(tasks):
         if store is not None:
             keys[i] = store.key_for(kind, **params)
+            t0 = time.perf_counter()
             hit = store.load(keys[i])
             if hit is not None:
+                metrics.observe_task(kind, time.perf_counter() - t0,
+                                     cached=True)
                 results[i] = hit
                 continue
         pending.append(i)
@@ -147,6 +168,8 @@ def run_tasks(tasks: Sequence[Task], jobs: Optional[int] = None,
             results[i] = result
             if store is not None:
                 store.store(keys[i], result)
+    if store is not None:
+        metrics.collect_profile_cache(store)
     return results
 
 
@@ -208,6 +231,26 @@ def trace_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
     tasks: list[Task] = [
         ("trace", dict(key=k, scale=scale, epochs=epochs, seed=seed,
                        num_gpus=num_gpus))
+        for k in keys
+    ]
+    return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))
+
+
+def memstats_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
+                   epochs: int = 1, seed: int = 0, strict: bool = False,
+                   jobs: Optional[int] = None, cache=None) -> dict:
+    """Device-memory reports for ``keys``, keyed by workload.
+
+    Each report digests only shape-derived byte counts from its own seeded
+    run (:func:`repro.core.characterize.measure_memory` suspends the cyclic
+    GC so free timing is refcount-deterministic), so memory snapshots are
+    byte-identical across ``--jobs``, cache settings and repeat runs.
+    """
+    if keys is None:
+        keys = list(registry.WORKLOAD_KEYS)
+    tasks: list[Task] = [
+        ("memstats", dict(key=k, scale=scale, epochs=epochs, seed=seed,
+                          strict=strict))
         for k in keys
     ]
     return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))

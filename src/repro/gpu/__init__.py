@@ -9,7 +9,7 @@ Public surface:
 * Config dataclasses (:class:`DeviceConfig`, :data:`V100`, ...).
 """
 
-from . import analysis_cache
+from . import analysis_cache, memory
 from .analysis_cache import AnalysisCache, AnalysisRecord
 from .compression import CompressionResult, compress
 from .config import (
@@ -35,6 +35,7 @@ from .kernel import (
     StallBreakdown,
     TransferRecord,
 )
+from .memory import MemoryPool, OOMError, OOMEvent
 from .multigpu import AllReduceCost, MultiGPUSystem
 
 __all__ = [
@@ -55,7 +56,11 @@ __all__ = [
     "KernelLaunch",
     "LinkConfig",
     "MemoryMetrics",
+    "MemoryPool",
+    "memory",
     "MultiGPUSystem",
+    "OOMError",
+    "OOMEvent",
     "NVLINK2",
     "OpClass",
     "OpClassProfile",

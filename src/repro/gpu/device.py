@@ -19,7 +19,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from . import analysis_cache, timing
+from . import analysis_cache, memory, timing
 from .config import DEFAULT_SIMULATION, SimulationConfig
 from .kernel import KernelDescriptor, KernelLaunch, TransferRecord
 
@@ -99,6 +99,9 @@ class SimulatedGPU:
         #: by the emitting site's raw arguments (see ops.base.launch), letting
         #: repeat launches skip descriptor construction entirely
         self.site_records: dict[tuple, tuple] = {}
+        #: simulated HBM occupancy (repro.gpu.memory); passive until a
+        #: DeviceMemoryTracker drives it — never touched on the launch path
+        self.memory = memory.MemoryPool(self.sim.device.dram_size_bytes)
         self._launch_listeners: list[LaunchListener] = []
         self._transfer_listeners: list[TransferListener] = []
         self._launch_counter = 0
@@ -251,6 +254,9 @@ class SimulatedGPU:
     def _transfer(
         self, array: np.ndarray, direction: str, label: str
     ) -> TransferRecord:
+        # Unlabelled copies at least say which way they went — "h2d"/"d2h"
+        # reads better than "" in traces and memory attributions.
+        label = label or direction
         values = np.asarray(array)
         nbytes = int(values.nbytes)
         if values.dtype == np.bool_ or np.issubdtype(values.dtype, np.number):
@@ -285,6 +291,10 @@ class SimulatedGPU:
             self.stats.h2d_bytes += nbytes
         else:
             self.stats.d2h_bytes += nbytes
+        if direction == "h2d":
+            tracker = memory._TRACKER
+            if tracker is not None and tracker.device is self:
+                tracker.register(values, label=label)
         for listener in self._transfer_listeners:
             listener(record)
         return record
@@ -302,11 +312,23 @@ class SimulatedGPU:
         return self.clock_s
 
     def reset(self) -> None:
-        """Reset the clocks and aggregate counters (listeners are kept)."""
+        """Start a fresh measurement run: clocks, counters, and any listener
+        or launch-site memo state left behind by earlier instrumentation.
+
+        Every profiler/tracer/recorder in the repo attaches *after* reset,
+        so dropping stale listeners here means a detached-in-error tracer
+        from a previous run can never skew a later one on a reused device.
+        The memory pool is deliberately untouched — its lifecycle belongs to
+        :func:`repro.gpu.memory.track`, which may span a reset (allocations
+        made during build survive into the measured run).
+        """
         self.clock_s = 0.0
         self.host_clock_s = 0.0
         self._launch_counter = 0
         self.stats.reset()
+        self._launch_listeners.clear()
+        self._transfer_listeners.clear()
+        self.site_records.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

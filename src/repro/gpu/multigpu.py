@@ -90,7 +90,8 @@ class MultiGPUSystem:
                             dev.device_id, "allreduce",
                             barrier + b * per_bucket,
                             barrier + (b + 1) * per_bucket,
-                            {"nbytes": bucket,
+                            {"label": "grad_bucket",
+                             "nbytes": bucket,
                              "ring_peers": len(self.devices)},
                         )
         for dev in self.devices:

@@ -1,11 +1,17 @@
 """Profiling toolchain: nvprof-style kernel metrics, NVBit-style divergence
-instrumentation, transfer-sparsity tracking, kernel-timeline tracing, and
-report rendering."""
+instrumentation, transfer-sparsity tracking, kernel-timeline tracing, a
+process-wide metrics registry, and report rendering."""
 
-from . import trace
+from . import metrics, trace
+from .metrics import MetricsRegistry
 from .nvbit import DivergenceInstrument, DivergenceRecord
 from .nvprof import METRIC_SAMPLE_LIMIT, KernelProfiler, KernelStats
-from .report import format_scaling, format_series, format_table
+from .report import (
+    format_memory_table,
+    format_scaling,
+    format_series,
+    format_table,
+)
 from .sparsity import SparsityTracker, TransferSample
 from .trace import Span, Timeline, Tracer
 
@@ -15,13 +21,16 @@ __all__ = [
     "KernelProfiler",
     "KernelStats",
     "METRIC_SAMPLE_LIMIT",
+    "MetricsRegistry",
     "Span",
     "SparsityTracker",
     "Timeline",
     "Tracer",
     "TransferSample",
+    "format_memory_table",
     "format_scaling",
     "format_series",
     "format_table",
+    "metrics",
     "trace",
 ]

@@ -72,6 +72,43 @@ def format_series(
     return "\n".join(lines)
 
 
+def format_memory_table(
+    reports: Mapping[str, Mapping],
+    title: str = "Device-memory occupancy (simulated HBM)",
+) -> str:
+    """Render per-workload memory reports (``measure_memory`` dicts).
+
+    ``peak_mem`` is the peak *live* bytes — what the workload's tensors
+    actually occupy at their high-water mark; ``reserved`` is the caching
+    allocator's device footprint (what ``nvidia-smi`` would show).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'workload':<12}{'peak_mem MB':>13}{'reserved MB':>13}"
+                 f"{'util %':>8}{'frag %':>8}{'allocs':>9}{'reuse %':>9}"
+                 f"{'oom':>5}")
+    lines.append("-" * 77)
+    for key, rep in reports.items():
+        allocs = rep.get("alloc_count", 0)
+        reuse = (rep.get("bucket_reuse_count", 0) / allocs * 100
+                 if allocs else 0.0)
+        lines.append(
+            f"{key:<12}{rep.get('peak_live_bytes', 0) / 1e6:>13.2f}"
+            f"{rep.get('peak_reserved_bytes', 0) / 1e6:>13.2f}"
+            f"{rep.get('utilization', 0.0) * 100:>8.2f}"
+            f"{rep.get('fragmentation', 0.0) * 100:>8.1f}"
+            f"{allocs:>9}{reuse:>9.1f}{rep.get('oom_events', 0):>5}"
+        )
+    if reports:
+        lines.append("-" * 77)
+        peak = max(rep.get("peak_live_bytes", 0) for rep in reports.values())
+        total_oom = sum(rep.get("oom_events", 0) for rep in reports.values())
+        lines.append(f"{'max':<12}{peak / 1e6:>13.2f}"
+                     f"{'':>13}{'':>8}{'':>8}{'':>9}{'':>9}{total_oom:>5}")
+    return "\n".join(lines)
+
+
 def format_scaling(
     times: Mapping[str, Mapping[int, float]],
     title: str = "Strong scaling (speedup over 1 GPU)",

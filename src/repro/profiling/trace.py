@@ -65,6 +65,7 @@ import json
 from dataclasses import dataclass, replace
 from typing import Iterable, Optional, Sequence
 
+from ..gpu import memory as gpu_memory
 from ..gpu.device import SimulatedGPU
 from ..gpu.kernel import KernelLaunch, TransferRecord
 
@@ -76,13 +77,16 @@ CAT_TRANSFER = "transfer"
 CAT_ALLREDUCE = "allreduce"
 CAT_PHASE = "phase"
 CAT_EPOCH = "epoch"
+#: zero-duration samples exported as Chrome Counter ("C") events — Perfetto
+#: renders them as a memory-over-time track beside the kernel spans
+CAT_COUNTER = "counter"
 
 #: categories that occupy the device (busy/idle accounting)
 DEVICE_CATS = (CAT_KERNEL, CAT_TRANSFER, CAT_ALLREDUCE)
 
 #: canonical stream display order inside one pid
 _TID_RANK = {"epoch": 0, "phase": 1, "kernels": 2, "h2d": 3, "d2h": 4,
-             "allreduce": 5}
+             "allreduce": 5, "memory": 6}
 
 
 def _tid_rank(tid: str) -> int:
@@ -144,6 +148,8 @@ class Tracer:
         self._devices: list[SimulatedGPU] = []
         #: pid -> [phase name, run start_s, run end_s]
         self._phase_runs: dict[int, list] = {}
+        #: pid -> index of its latest counter span (same-timestamp coalescing)
+        self._last_counter: dict[int, int] = {}
 
     # -- device plumbing ---------------------------------------------------
     def attach(self, device: SimulatedGPU) -> "Tracer":
@@ -193,6 +199,34 @@ class Tracer:
                  args: Optional[dict] = None) -> None:
         """Record an explicit host-side span (epoch, allreduce bucket, ...)."""
         self.spans.append(Span.make(name, cat, pid, tid, start_s, end_s, args))
+
+    # -- counter samples (memory-over-time) --------------------------------
+    def add_counter(self, pid: int, clock_s: float, values: dict,
+                    name: str = "HBM") -> None:
+        """Record one counter sample (a zero-duration span on the ``memory``
+        stream).  Multiple samples at one timestamp coalesce to the last —
+        an alloc/free burst inside a single simulated instant exports as one
+        Chrome ``C`` event, keeping per-stream timestamps strictly usable."""
+        span = Span.make(name, CAT_COUNTER, pid, "memory",
+                         clock_s, clock_s, values)
+        idx = self._last_counter.get(pid)
+        if (idx is not None and self.spans[idx].ts_us == span.ts_us
+                and self.spans[idx].name == name):
+            self.spans[idx] = span
+            return
+        self._last_counter[pid] = len(self.spans)
+        self.spans.append(span)
+
+    def counter_sink(self, device: SimulatedGPU):
+        """Adapter for :meth:`DeviceMemoryTracker.set_counter_sink`."""
+        pid = device.device_id
+
+        def sink(clock_s: float, live: int, reserved: int) -> None:
+            self.add_counter(pid, clock_s,
+                             {"live_bytes": int(live),
+                              "reserved_bytes": int(reserved)})
+
+        return sink
 
     # -- derived phase spans ----------------------------------------------
     def _extend_phase(self, pid: int, name: str, start_s: float,
@@ -444,6 +478,12 @@ class Timeline:
                            "name": "thread_sort_index",
                            "args": {"sort_index": _tid_rank(tid)}})
         for s in self.spans:
+            if s.cat == CAT_COUNTER:
+                events.append({
+                    "ph": "C", "name": s.name, "cat": s.cat, "pid": s.pid,
+                    "tid": s.tid, "ts": s.ts_us, "args": s.args_dict(),
+                })
+                continue
             events.append({
                 "ph": "X", "name": s.name, "cat": s.cat, "pid": s.pid,
                 "tid": s.tid, "ts": s.ts_us, "dur": s.dur_us,
@@ -467,17 +507,26 @@ class Timeline:
 
     @classmethod
     def from_chrome(cls, data: dict) -> "Timeline":
-        """Rebuild a Timeline from Chrome JSON (lossless for ``X`` events)."""
+        """Rebuild a Timeline from Chrome JSON (lossless for ``X`` span and
+        ``C`` counter events)."""
         spans = []
         for event in data.get("traceEvents", ()):
-            if event.get("ph") != "X":
-                continue
-            spans.append(Span(
-                name=event["name"], cat=event.get("cat", ""),
-                pid=int(event["pid"]), tid=str(event["tid"]),
-                ts_us=float(event["ts"]), dur_us=float(event["dur"]),
-                args=tuple(sorted(event.get("args", {}).items())),
-            ))
+            ph = event.get("ph")
+            if ph == "X":
+                spans.append(Span(
+                    name=event["name"], cat=event.get("cat", ""),
+                    pid=int(event["pid"]), tid=str(event["tid"]),
+                    ts_us=float(event["ts"]), dur_us=float(event["dur"]),
+                    args=tuple(sorted(event.get("args", {}).items())),
+                ))
+            elif ph == "C":
+                spans.append(Span(
+                    name=event["name"], cat=event.get("cat", CAT_COUNTER),
+                    pid=int(event["pid"]),
+                    tid=str(event.get("tid", "memory")),
+                    ts_us=float(event["ts"]), dur_us=0.0,
+                    args=tuple(sorted(event.get("args", {}).items())),
+                ))
         return cls(spans)
 
 
@@ -531,6 +580,21 @@ def validate_chrome(data: dict) -> None:
             raise ValueError(f"traceEvents[{i}]: not an event object")
         if event["ph"] == "M":
             continue
+        if event["ph"] == "C":
+            for field in ("name", "pid", "ts", "args"):
+                if field not in event:
+                    raise ValueError(f"traceEvents[{i}]: missing {field!r}")
+            ts = float(event["ts"])
+            if ts < 0:
+                raise ValueError(f"traceEvents[{i}]: negative ts")
+            stream = (event["pid"], "C", event["name"])
+            if ts < last_ts.get(stream, 0.0):
+                raise ValueError(
+                    f"traceEvents[{i}]: ts {ts} not monotone on counter "
+                    f"stream {stream}"
+                )
+            last_ts[stream] = ts
+            continue
         if event["ph"] != "X":
             raise ValueError(f"traceEvents[{i}]: unsupported phase "
                              f"{event['ph']!r}")
@@ -550,11 +614,15 @@ def validate_chrome(data: dict) -> None:
 
 # -- workload tracing entry points -------------------------------------------
 def trace_workload(key: str, scale: str = "test", epochs: int = 1,
-                   seed: int = 0, sim=None) -> Timeline:
+                   seed: int = 0, sim=None, memory: bool = False) -> Timeline:
     """Train ``epochs`` of one workload on a single traced device.
 
     Mirrors :func:`repro.testing.golden.fingerprint_workload`: reseed, build,
-    reset (setup excluded), then record every event of training.
+    reset (setup excluded), then record every event of training.  With
+    ``memory=True`` a device-memory tracker rides along and every alloc/free
+    emits a live/reserved counter sample — Perfetto shows the HBM footprint
+    as a counter track beside the kernel spans.  Golden trace fingerprints
+    keep ``memory=False``, so their digests are untouched by the samples.
     """
     from ..core import registry
     from ..tensor import manual_seed
@@ -563,20 +631,31 @@ def trace_workload(key: str, scale: str = "test", epochs: int = 1,
     spec = registry.get(key)
     manual_seed(seed)
     device = SimulatedGPU(sim)
-    workload = spec.build(device=device, scale=scale)
-    device.reset()
-    with session(devices=(device,)) as tracer:
-        Trainer(workload=workload, device=device).run(epochs=epochs,
-                                                      seed=seed)
+    mem_ctx = (gpu_memory.track(device) if memory
+               else contextlib.nullcontext(None))
+    with mem_ctx as memtracker:
+        workload = spec.build(device=device, scale=scale)
+        device.reset()
+        with session(devices=(device,)) as tracer:
+            if memtracker is not None:
+                memtracker.set_counter_sink(tracer.counter_sink(device))
+            Trainer(workload=workload, device=device).run(epochs=epochs,
+                                                          seed=seed)
     return tracer.timeline()
 
 
 def trace_point(key: str, num_gpus: int = 1, scale: str = "test",
-                epochs: int = 1, seed: int = 0, sim=None) -> Timeline:
-    """Trace one workload on ``num_gpus`` simulated devices."""
+                epochs: int = 1, seed: int = 0, sim=None,
+                memory: bool = False) -> Timeline:
+    """Trace one workload on ``num_gpus`` simulated devices.
+
+    Memory counter tracks are single-device only: the DDP path replicates
+    device 0's spans to every peer, and cloning footprint samples would
+    assert knowledge the allocator model doesn't have about replicas.
+    """
     if num_gpus <= 1:
         return trace_workload(key, scale=scale, epochs=epochs, seed=seed,
-                              sim=sim)
+                              sim=sim, memory=memory)
     from ..train import ddp
 
     return ddp.trace_scaling_point(key, num_gpus, scale=scale, epochs=epochs,

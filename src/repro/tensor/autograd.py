@@ -17,11 +17,17 @@ from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 import numpy as np
 
+from ..gpu import memory as gpu_memory
+
 if TYPE_CHECKING:  # pragma: no cover
     from .tensor import Tensor
 
 _grad_enabled = True
 _current_phase = "forward"
+
+# memory telemetry attributes allocations to the phase that made them; the
+# gpu layer can't import us, so hand it the phase accessor
+gpu_memory.set_phase_provider(lambda: _current_phase)
 
 
 def is_grad_enabled() -> bool:
@@ -68,6 +74,14 @@ class Context:
 
     def save_for_backward(self, *items: Any) -> None:
         self.saved = items
+        tracker = gpu_memory._TRACKER
+        if tracker is not None and self.device is tracker.device:
+            # Saved activations pin device memory until backward consumes
+            # them — the footprint component training is famous for.  Raw
+            # arrays only: saved Tensors registered at creation already.
+            for item in items:
+                if isinstance(item, np.ndarray):
+                    tracker.register(item, label="saved_activation")
 
 
 class Function:

@@ -92,7 +92,7 @@ class Module:
         """Move all parameters (simulated H2D copies for each tensor)."""
         for p in self.parameters():
             if device is not None and p.device is not device:
-                device.h2d(p.data, "param")
+                device.h2d(p.data, "param_init")
             p.device = device
         for module in self.modules():
             module._moved_to(device)

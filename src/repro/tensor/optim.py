@@ -12,6 +12,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..gpu import memory as gpu_memory
 from . import autograd
 from .nn.module import Parameter
 from .ops.base import launch_elementwise
@@ -64,8 +65,12 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+        if gpu_memory._TRACKER is not None:
+            for p, vel in zip(self.params, self._velocity):
+                gpu_memory.notify_alloc(p.device, vel, "sgd_momentum")
 
     def _step(self) -> None:
+        tracking = gpu_memory._TRACKER is not None
         for p, vel in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
@@ -79,6 +84,10 @@ class SGD(Optimizer):
                 launch_elementwise(p.device, "sgd_momentum_mul_add", p.size, 2)
             p.data = p.data - self.lr * g
             launch_elementwise(p.device, "sgd_weight_update", p.size, 2)
+            if tracking:
+                # the update wrote a fresh buffer (PyTorch-1.5 out-of-place
+                # semantics); the displaced weights free via their finalizer
+                gpu_memory.notify_alloc(p.device, p.data, "param_update")
 
 
 class Adam(Optimizer):
@@ -97,8 +106,16 @@ class Adam(Optimizer):
         #: ufunc (the operation order is unchanged, so the updates are
         #: bit-identical to the naive expression)
         self._scratch = [np.empty_like(p.data) for p in self.params]
+        if gpu_memory._TRACKER is not None:
+            state_labels = ((self._m, "adam_exp_avg"),
+                            (self._v, "adam_exp_avg_sq"),
+                            (self._scratch, "adam_scratch"))
+            for buffers, label in state_labels:
+                for p, buf in zip(self.params, buffers):
+                    gpu_memory.notify_alloc(p.device, buf, label)
 
     def _step(self) -> None:
+        tracking = gpu_memory._TRACKER is not None
         self.t += 1
         bias1 = 1.0 - self.beta1 ** self.t
         bias2 = 1.0 - self.beta2 ** self.t
@@ -122,6 +139,10 @@ class Adam(Optimizer):
             update /= s
             np.subtract(p.data, update, out=update)
             p.data = update
+            if tracking:
+                # unfused Adam materializes a new weight buffer per step —
+                # real allocator churn the caching pool is meant to absorb
+                gpu_memory.notify_alloc(p.device, p.data, "param_update")
             # PyTorch 1.5 (the paper's version) had no fused Adam: the step
             # is seven separate elementwise kernels per parameter tensor,
             # a large contributor to the elementwise share of deep models.

@@ -14,6 +14,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from ..gpu import memory as gpu_memory
 from ..gpu.device import SimulatedGPU
 from . import autograd
 
@@ -64,6 +65,8 @@ class Tensor:
         self.grad: Optional[Tensor] = None
         self._ctx = None
         self.name = name
+        if device is not None and gpu_memory._TRACKER is not None:
+            gpu_memory._TRACKER.register_tensor(self)
 
     # -- basic properties -----------------------------------------------------
     @property

@@ -407,3 +407,133 @@ def update_trace_goldens(keys: Optional[list[str]] = None, scale: str = "test",
     fingerprints = executor.trace_suite(keys, scale=scale, epochs=epochs,
                                         seed=seed, jobs=jobs, cache=cache)
     return [save_trace_golden(fingerprints[key]) for key in keys]
+
+
+# -- golden memory snapshots --------------------------------------------------
+# Memory reports (repro.core.characterize.measure_memory) pin the *capacity
+# domain*: peak live/reserved HBM bytes, per-phase and per-epoch watermarks,
+# allocator churn and the per-label byte breakdown.  Every quantity is
+# shape-derived (never a float compute result) and frees are refcount-driven
+# with the cyclic GC suspended, so snapshots compare EXACTLY — byte-for-byte
+# across repeat runs, --jobs counts, and analysis-cache on/off
+# (tests/test_memory_golden.py asserts all three).
+
+def memory_golden_path(key: str) -> Path:
+    return golden_dir() / f"memory_{key}.json"
+
+
+def load_memory_golden(key: str) -> dict:
+    path = memory_golden_path(key)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no golden memory snapshot for {key!r} at {path}; generate it "
+            f"with `python -m repro golden --memory --update`"
+        )
+    return json.loads(path.read_text())
+
+
+def save_memory_golden(report: dict) -> Path:
+    path = memory_golden_path(report["workload"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_memory_fingerprints(expected: dict, actual: dict) -> list[str]:
+    """Human-readable diffs (empty when reports match byte-for-byte).
+
+    Everything compares exactly: allocation sizes come from tensor shapes
+    and free points from refcounts with the cyclic GC off, so there is no
+    nondeterminism to forgive — any drift means tensor lifetimes (or the
+    allocator's bucketing policy) changed.
+    """
+    diffs: list[str] = []
+    scalar_fields = sorted(
+        (set(expected) | set(actual))
+        - {"phase_watermarks", "epoch_watermarks", "label_stats",
+           "top_labels", "memory_digest"}
+    )
+    for field in scalar_fields:
+        if expected.get(field) != actual.get(field):
+            diffs.append(f"{field}: expected {expected.get(field)!r}, "
+                         f"got {actual.get(field)!r}")
+
+    exp, act = expected.get("phase_watermarks", {}), actual.get(
+        "phase_watermarks", {})
+    for name in sorted(set(exp) | set(act)):
+        if exp.get(name) != act.get(name):
+            diffs.append(f"phase_watermarks[{name}]: expected "
+                         f"{exp.get(name)!r}, got {act.get(name)!r}")
+
+    if expected.get("epoch_watermarks") != actual.get("epoch_watermarks"):
+        diffs.append(f"epoch_watermarks: expected "
+                     f"{expected.get('epoch_watermarks')!r}, got "
+                     f"{actual.get('epoch_watermarks')!r}")
+
+    exp_labels = {t[0]: t[1:] for t in expected.get("top_labels", [])}
+    act_labels = {t[0]: t[1:] for t in actual.get("top_labels", [])}
+    for name in sorted(set(exp_labels) | set(act_labels)):
+        if exp_labels.get(name) != act_labels.get(name):
+            diffs.append(f"top_labels[{name}]: expected "
+                         f"{exp_labels.get(name)!r}, got "
+                         f"{act_labels.get(name)!r}")
+
+    if expected.get("memory_digest") != actual.get("memory_digest"):
+        diffs.append(
+            f"memory_digest: expected {expected.get('memory_digest')}, "
+            f"got {actual.get('memory_digest')} — the canonical memory "
+            f"report changed even though the summary stats above "
+            f"{'also differ' if diffs else 'still match'}"
+        )
+    return diffs
+
+
+def verify_memory_goldens(keys: Optional[list[str]] = None,
+                          jobs: Optional[int] = None,
+                          cache=None) -> dict[str, list[str]]:
+    """Diff fresh memory reports against committed snapshots.
+
+    Mirrors :func:`verify_trace_goldens`: reports regenerate under each
+    snapshot's own recorded parameters, missing snapshots surface as
+    one-line diffs, and generation fans out through the execution engine.
+    """
+    from ..core import executor
+
+    keys = list(keys or registry.WORKLOAD_KEYS)
+    expected: dict[str, dict] = {}
+    diffs: dict[str, list[str]] = {}
+    for key in keys:
+        try:
+            expected[key] = load_memory_golden(key)
+        except FileNotFoundError as exc:
+            diffs[key] = [f"missing snapshot: {exc}"]
+
+    present = [k for k in keys if k in expected]
+    by_params: dict[tuple, list[str]] = {}
+    for key in present:
+        exp = expected[key]
+        params = (exp.get("scale", "test"), exp.get("epochs", 1),
+                  exp.get("seed", 0))
+        by_params.setdefault(params, []).append(key)
+    actual: dict[str, dict] = {}
+    for (scale, epochs, seed), group in by_params.items():
+        actual.update(executor.memstats_suite(
+            group, scale=scale, epochs=epochs, seed=seed, jobs=jobs,
+            cache=cache,
+        ))
+    for key in present:
+        diffs[key] = compare_memory_fingerprints(expected[key], actual[key])
+    return {key: diffs[key] for key in keys}
+
+
+def update_memory_goldens(keys: Optional[list[str]] = None,
+                          scale: str = "test", epochs: int = 1, seed: int = 0,
+                          jobs: Optional[int] = None,
+                          cache=None) -> list[Path]:
+    """Regenerate memory snapshots for ``keys`` (default: whole registry)."""
+    from ..core import executor
+
+    keys = list(keys or registry.WORKLOAD_KEYS)
+    reports = executor.memstats_suite(keys, scale=scale, epochs=epochs,
+                                      seed=seed, jobs=jobs, cache=cache)
+    return [save_memory_golden(reports[key]) for key in keys]

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..gpu import memory as gpu_memory
 from ..gpu.device import SimulatedGPU
 from ..profiling import trace
 
@@ -46,12 +47,17 @@ class Trainer:
     def run(self, epochs: int, seed: int = 0) -> list[EpochResult]:
         rng = np.random.default_rng(seed)
         tracer = trace.active()  # one check per run, zero-cost when absent
+        memtracker = gpu_memory.active()
+        if memtracker is not None and memtracker.device is not self.device:
+            memtracker = None
         for epoch in range(epochs):
             t0 = self.device.elapsed_s()
             k0 = self.device.stats.kernel_count
             metrics = self.workload.train_epoch(rng)
             if tracer is not None:
                 tracer.end_epoch(self.device, len(self.history), t0)
+            if memtracker is not None:
+                memtracker.end_epoch()
             self.history.append(
                 EpochResult(
                     epoch=len(self.history),

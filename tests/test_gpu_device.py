@@ -93,7 +93,23 @@ class TestListeners:
         seen = []
         gpu.add_transfer_listener(seen.append)
         gpu.h2d(np.zeros(8))
-        assert len(seen) == 1 and seen[0].label == ""
+        # unlabelled copies default to their direction, never ""
+        assert len(seen) == 1 and seen[0].label == "h2d"
+
+    def test_reset_clears_listeners_and_site_memo(self, gpu):
+        """A tracer detached (or leaked) before reset must not leak into the
+        next measurement run on a reused device."""
+        seen = []
+        gpu.add_launch_listener(seen.append)
+        gpu.add_transfer_listener(seen.append)
+        gpu.site_records[("stale",)] = ("whatever",)
+        gpu.reset()
+        assert gpu._launch_listeners == []
+        assert gpu._transfer_listeners == []
+        assert gpu.site_records == {}
+        gpu.launch(_desc())
+        gpu.h2d(np.zeros(8))
+        assert seen == []
 
 
 class TestStats:

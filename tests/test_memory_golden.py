@@ -1,0 +1,76 @@
+"""Golden memory snapshots: committed, complete, and bit-deterministic.
+
+The memory report is shape-derived (allocation sizes) plus refcount-driven
+(free points, cyclic GC suspended), so the same ``(key, scale, epochs,
+seed)`` must serialize byte-identically no matter how the run is executed:
+serial, on pool workers, or with the profile cache on or off.
+"""
+
+import json
+
+import pytest
+
+from repro.core import characterize, executor, registry
+from repro.testing import golden
+
+# two cheap workloads exercise the determinism matrix; CI verifies all nine
+KEYS = ["DGCN", "KGNNL"]
+
+
+def _canonical(report: dict) -> str:
+    return json.dumps(report, sort_keys=True)
+
+
+class TestCommittedSnapshots:
+    @pytest.mark.parametrize("key", sorted(registry.WORKLOAD_KEYS))
+    def test_snapshot_committed_for_every_workload(self, key):
+        report = golden.load_memory_golden(key)
+        assert report["workload"] == key
+        assert report["version"] == 1
+        assert report["peak_live_bytes"] > 0
+        assert report["memory_digest"]
+
+    def test_fresh_reports_match_goldens(self):
+        diffs = golden.verify_memory_goldens(KEYS)
+        assert diffs == {key: [] for key in KEYS}
+
+    def test_compare_reports_digest_drift(self):
+        expected = golden.load_memory_golden("DGCN")
+        mutated = dict(expected)
+        mutated["peak_live_bytes"] = expected["peak_live_bytes"] + 512
+        diffs = golden.compare_memory_fingerprints(expected, mutated)
+        assert any(d.startswith("peak_live_bytes") for d in diffs)
+        # the digest line fires too: the canonical payload changed
+        mutated["memory_digest"] = "deadbeef"
+        diffs = golden.compare_memory_fingerprints(expected, mutated)
+        assert any(d.startswith("memory_digest") for d in diffs)
+
+
+class TestDeterminism:
+    def test_repeat_runs_are_byte_identical(self):
+        first = characterize.measure_memory("DGCN", scale="test", epochs=1)
+        second = characterize.measure_memory("DGCN", scale="test", epochs=1)
+        assert _canonical(first) == _canonical(second)
+
+    def test_jobs_do_not_change_reports(self):
+        serial = executor.memstats_suite(KEYS, scale="test", epochs=1,
+                                         jobs=1, cache=False)
+        parallel = executor.memstats_suite(KEYS, scale="test", epochs=1,
+                                           jobs=2, cache=False)
+        for key in KEYS:
+            assert _canonical(serial[key]) == _canonical(parallel[key])
+
+    def test_profile_cache_does_not_change_reports(self, tmp_path):
+        from repro.core.cache import ProfileCache
+
+        cache = ProfileCache(tmp_path)
+        uncached = executor.memstats_suite(KEYS, scale="test", epochs=1,
+                                           cache=False)
+        cold = executor.memstats_suite(KEYS, scale="test", epochs=1,
+                                       cache=cache)
+        warm = executor.memstats_suite(KEYS, scale="test", epochs=1,
+                                       cache=cache)
+        assert cache.hits >= len(KEYS)  # the warm pass replayed from disk
+        for key in KEYS:
+            assert _canonical(uncached[key]) == _canonical(cold[key])
+            assert _canonical(cold[key]) == _canonical(warm[key])

@@ -15,7 +15,10 @@ Usage::
     python -m repro golden --update        # regenerate tests/golden/*.json
     python -m repro golden --traces        # diff timeline traces vs snapshots
     python -m repro golden --memory        # diff HBM reports vs snapshots
+    python -m repro golden --fused         # diff fused replay streams
     python -m repro bench                  # cold/parallel/warm suite timings
+    python -m repro bench --capture-replay # replay epochs from a captured plan
+    python -m repro bench --workload ARGA  # one workload's hot path, isolated
     python -m repro trace dgcn             # Chrome-format kernel timeline
     python -m repro trace tlstm --gpus 4 -o trace.json
 
@@ -189,7 +192,8 @@ def _print_memstats(args, cache) -> int:
 
 
 def _run_golden(workload: str | None, update: bool, jobs: int | None,
-                cache, traces: bool = False, memory: bool = False) -> int:
+                cache, traces: bool = False, memory: bool = False,
+                fused: bool = False) -> int:
     from .core import registry
     from .testing import golden
 
@@ -198,7 +202,10 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
     if unknown:
         print(f"unknown workload(s) {unknown}; have {sorted(registry.WORKLOAD_KEYS)}")
         return 2
-    if memory:
+    if fused:
+        update_fn = golden.update_fused_goldens
+        verify_fn = golden.verify_fused_goldens
+    elif memory:
         update_fn = golden.update_memory_goldens
         verify_fn = golden.verify_memory_goldens
     elif traces:
@@ -211,7 +218,9 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
         for path in update_fn(keys, jobs=jobs, cache=cache):
             print(f"wrote {path}")
         return 0
-    flag = " --memory" if memory else (" --traces" if traces else "")
+    flag = (" --fused" if fused
+            else " --memory" if memory
+            else " --traces" if traces else "")
     failed = 0
     for key, diffs in verify_fn(keys, jobs=jobs, cache=cache).items():
         if not diffs:
@@ -271,6 +280,11 @@ def _run_bench(args) -> int:
     # the bench times the harness, not the workloads: test-scale configs by
     # default (--quick forces them), full profile scale via --scale profile
     scale = "test" if args.quick else (args.scale or "test")
+    if args.bench_workload:
+        # single-workload mode: reproduce one workload's hot-path numbers in
+        # isolation (skips the suite-level cold/parallel/warm timings)
+        key = _resolve_workload(args.bench_workload)
+        return _run_bench_hotpath(args, scale, keys=[key])
     report = executor.benchmark_suite(scale=scale, epochs=args.epochs,
                                       seed=args.seed, jobs=args.jobs)
     print(f"suite of {len(report['suite'])} workloads"
@@ -290,20 +304,29 @@ def _run_bench(args) -> int:
     return _run_bench_hotpath(args, scale)
 
 
-def _run_bench_hotpath(args, scale: str) -> int:
+def _run_bench_hotpath(args, scale: str,
+                       keys: list[str] | None = None) -> int:
     # steady-state launch-path microbench: warm (analysis cache on) vs cold
     # (REPRO_ANALYSIS_CACHE=0 semantics) epochs/sec per workload
     hotpath_epochs = args.epochs if args.epochs > 1 else 3
-    report = executor.benchmark_hotpath(scale=scale, epochs=hotpath_epochs,
-                                        seed=args.seed)
+    report = executor.benchmark_hotpath(keys=keys, scale=scale,
+                                        epochs=hotpath_epochs,
+                                        seed=args.seed,
+                                        capture_replay=args.capture_replay,
+                                        fuse=args.fuse)
+    mode = ("capture-replay+fuse" if report["fuse"]
+            else "capture-replay" if report["capture_replay"]
+            else "dispatch")
     print(f"\nlaunch hot path (steady state, {report['epochs']} epoch(s)"
-          f" after warm-up, scale={report['scale']}):")
+          f" after warm-up, scale={report['scale']}, mode={mode}):")
     print(f"  {'workload':<12}{'warm ep/s':>12}{'cold ep/s':>12}"
-          f"{'speedup':>9}{'hit rate':>10}")
+          f"{'speedup':>9}{'hit rate':>10}{'replayed':>10}")
     for key, row in report["workloads"].items():
+        replayed = (str(row.get("replayed_epochs", 0))
+                    if row["mode"] == "capture-replay" else "-")
         print(f"  {key:<12}{row['warm_epochs_per_s']:>12.2f}"
               f"{row['cold_epochs_per_s']:>12.2f}{row['speedup']:>8.2f}x"
-              f"{row['hit_rate'] * 100:>9.1f}%")
+              f"{row['hit_rate'] * 100:>9.1f}%{replayed:>10}")
     print(f"  {'suite':<12}{report['warm_epochs_per_s']:>12.2f}"
           f"{report['cold_epochs_per_s']:>12.2f}{report['speedup']:>8.2f}x")
     with open(args.hotpath_output, "w") as fh:
@@ -361,6 +384,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="'golden': operate on device-memory snapshots "
                              "(tests/golden/memory_*.json) instead of kernel "
                              "streams")
+    parser.add_argument("--fused", action="store_true",
+                        help="'golden': operate on fused-stream snapshots "
+                             "(tests/golden/fused_*.json) — capture/replay "
+                             "with elementwise fusion")
+    parser.add_argument("--capture-replay", action="store_true",
+                        help="'bench': capture each workload's steady-state "
+                             "epoch and replay it instead of re-dispatching "
+                             "(repro.gpu.graph_capture)")
+    parser.add_argument("--fuse", action="store_true",
+                        help="'bench': with capture/replay, also merge "
+                             "adjacent elementwise launches in the replayed "
+                             "plan (implies --capture-replay)")
+    parser.add_argument("--workload", dest="bench_workload", default=None,
+                        help="'bench': time a single workload's hot path in "
+                             "isolation (case-insensitive key; skips the "
+                             "suite-level timings)")
     parser.add_argument("--metrics", action="store_true",
                         help="after 'profile'/'trace'/'memstats': dump the "
                              "process-wide metrics registry (Prometheus text "
@@ -392,7 +431,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "golden":
         return _run_golden(args.workload, args.update, args.jobs, cache,
-                           traces=args.traces, memory=args.memory)
+                           traces=args.traces, memory=args.memory,
+                           fused=args.fused)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "trace":

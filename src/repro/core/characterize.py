@@ -191,6 +191,7 @@ def measure_memory(
     seed: int = 0,
     sim: Optional[SimulationConfig] = None,
     strict: bool = False,
+    mode: Optional[str] = None,
 ) -> dict:
     """Train a workload under device-memory tracking and report HBM usage.
 
@@ -199,6 +200,12 @@ def measure_memory(
     resets after build — setup time stays excluded, setup memory doesn't).
     With ``strict=True`` exceeding the configured HBM capacity raises
     :class:`repro.gpu.memory.OOMError` instead of warning.
+
+    ``mode`` (``None`` / ``"steady"`` / ``"capture"``) selects the training
+    loop exactly as in :func:`repro.profiling.trace.trace_workload`; the
+    mode is deliberately left out of the report so steady and capture-replay
+    snapshots stay directly comparable — the memory-differential tests rely
+    on it.
 
     The cyclic garbage collector is suspended for the run, so every tracked
     free happens at its refcount-determined instant — the report (and its
@@ -221,7 +228,9 @@ def measure_memory(
             with autograd.phase("setup"):
                 workload = spec.build(device=device, scale=scale)
             device.reset()
-            Trainer(workload=workload, device=device).run(epochs=epochs,
+            Trainer(workload=workload, device=device,
+                    steady=mode == "steady",
+                    capture_replay=mode == "capture").run(epochs=epochs,
                                                           seed=seed)
             report = tracker.report()
     finally:

@@ -27,6 +27,8 @@ boundaries without pickling closures:
 * ``("scaling", {...})``      → :func:`repro.train.ddp.run_scaling_point`
 * ``("trace", {...})``        → :func:`repro.profiling.trace.trace_fingerprint`
 * ``("memstats", {...})``     → :func:`repro.core.characterize.measure_memory`
+* ``("capture_fingerprint", {...})`` → :func:`repro.testing.golden.capture_fingerprint`
+* ``("fused_fingerprint", {...})``   → :func:`repro.testing.golden.fused_fingerprint`
 
 ``jobs=None`` resolves the worker count from ``$REPRO_JOBS`` (default 1),
 which is how CI exercises the parallel path under the stock pytest suite.
@@ -76,12 +78,26 @@ def _run_memstats(params: dict):
     return characterize.measure_memory(**params)
 
 
+def _run_capture_fingerprint(params: dict):
+    from ..testing import golden
+
+    return golden.capture_fingerprint(**params)
+
+
+def _run_fused_fingerprint(params: dict):
+    from ..testing import golden
+
+    return golden.fused_fingerprint(**params)
+
+
 _TASK_RUNNERS = {
     "profile": _run_profile,
     "fingerprint": _run_fingerprint,
     "scaling": _run_scaling,
     "trace": _run_trace,
     "memstats": _run_memstats,
+    "capture_fingerprint": _run_capture_fingerprint,
+    "fused_fingerprint": _run_fused_fingerprint,
 }
 
 
@@ -256,6 +272,43 @@ def memstats_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
     return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))
 
 
+def capture_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
+                  epochs: int = 5, seed: int = 0, mode: str = "capture",
+                  analysis_cache_enabled: Optional[bool] = None,
+                  jobs: Optional[int] = None, cache=None) -> dict:
+    """Capture-replay (or steady-dispatch) run fingerprints, keyed by key.
+
+    Each task clears the launch-analysis cache and applies the requested
+    cache setting *inside* the task function, so results are byte-identical
+    whether they run in-process, on pool workers, or from the profile cache —
+    the differential replay suite fans its dispatch-vs-replay comparisons
+    out through here.
+    """
+    if keys is None:
+        keys = list(registry.WORKLOAD_KEYS)
+    tasks: list[Task] = [
+        ("capture_fingerprint",
+         dict(key=k, scale=scale, epochs=epochs, seed=seed, mode=mode,
+              analysis_cache_enabled=analysis_cache_enabled))
+        for k in keys
+    ]
+    return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))
+
+
+def fused_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
+                epochs: int = 5, seed: int = 0,
+                jobs: Optional[int] = None, cache=None) -> dict:
+    """Fused-plan fingerprints (``golden --fused``), keyed by workload."""
+    if keys is None:
+        keys = list(registry.WORKLOAD_KEYS)
+    tasks: list[Task] = [
+        ("fused_fingerprint", dict(key=k, scale=scale, epochs=epochs,
+                                   seed=seed))
+        for k in keys
+    ]
+    return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))
+
+
 def run_scaling_points(points: Sequence[tuple[str, int]],
                        scale: str = "scaling", epochs: int = 1, seed: int = 0,
                        jobs: Optional[int] = None, cache=None) -> list:
@@ -316,14 +369,22 @@ def benchmark_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
     }
 
 
-def _steady_state_run(key: str, scale: str, epochs: int,
-                      seed: int) -> tuple[float, "object"]:
+def _steady_state_run(
+    key: str, scale: str, epochs: int, seed: int,
+    capture_replay: bool = False, fuse: bool = False, steady: bool = False,
+) -> tuple[float, "object", "object"]:
     """Time ``epochs`` of steady-state training for one workload.
 
     Build and the first (warm-up) epoch are excluded: the paper's protocol
     reports stable per-epoch times, and the warm-up is what populates the
     launch-analysis cache, so the timed region measures the launch path a
-    long training run actually lives on.
+    long training run actually lives on.  With ``capture_replay`` the timed
+    region covers the capture, validation, and replayed epochs (the
+    controller persists across the two ``run`` calls, so the warm-up epoch
+    is also the capture warm-up); ``steady`` times restore-and-dispatch
+    epochs under the same input discipline, which is the apples-to-apples
+    dispatch baseline for replay.  Returns (wall seconds, device stats,
+    controller-or-None).
     """
     from ..gpu.device import SimulatedGPU
     from ..tensor import manual_seed
@@ -333,17 +394,19 @@ def _steady_state_run(key: str, scale: str, epochs: int,
     manual_seed(seed)
     device = SimulatedGPU()
     workload = spec.build(device=device, scale=scale)
-    trainer = Trainer(workload=workload, device=device)
+    trainer = Trainer(workload=workload, device=device,
+                      capture_replay=capture_replay, fuse=fuse, steady=steady)
     trainer.run(epochs=1, seed=seed)
     device.stats.analysis_hits = device.stats.analysis_misses = 0
     t0 = time.perf_counter()
     trainer.run(epochs=epochs, seed=seed)
-    return time.perf_counter() - t0, device.stats
+    return time.perf_counter() - t0, device.stats, trainer._controller
 
 
 def benchmark_hotpath(keys: Optional[Sequence[str]] = None,
                       scale: str = "test", epochs: int = 3,
-                      seed: int = 0) -> dict:
+                      seed: int = 0, capture_replay: bool = False,
+                      fuse: bool = False) -> dict:
     """Steady-state epochs/sec per workload, analysis cache on vs. off.
 
     The "warm" pass runs with the launch-analysis cache enabled (launches
@@ -353,19 +416,32 @@ def benchmark_hotpath(keys: Optional[Sequence[str]] = None,
     identical workloads from identical seeds, so the simulated streams are
     byte-identical and only wall-clock differs.  Returns the
     ``BENCH_hotpath.json`` payload.
+
+    With ``capture_replay`` the warm pass additionally captures the epoch
+    plan and replays it (``repro.gpu.graph_capture``); the cold pass then
+    runs steady dispatch under the same input discipline so the two streams
+    stay identical.  ``fuse`` also merges adjacent elementwise launches in
+    the replayed plan — the stream intentionally shrinks, so the comparison
+    becomes epochs/sec only.
     """
     from ..gpu import analysis_cache
 
     if keys is None:
         keys = list(registry.WORKLOAD_KEYS)
+    capture_replay = capture_replay or fuse
     workloads: dict[str, dict] = {}
     warm_total = cold_total = 0.0
     for key in keys:
         analysis_cache.clear()
         with analysis_cache.override(True):
-            warm_s, stats = _steady_state_run(key, scale, epochs, seed)
+            warm_s, stats, controller = _steady_state_run(
+                key, scale, epochs, seed,
+                capture_replay=capture_replay, fuse=fuse,
+            )
         with analysis_cache.override(False):
-            cold_s, _ = _steady_state_run(key, scale, epochs, seed)
+            cold_s, _, _ = _steady_state_run(
+                key, scale, epochs, seed, steady=capture_replay,
+            )
         warm_total += warm_s
         cold_total += cold_s
         launches = stats.analysis_hits + stats.analysis_misses
@@ -379,13 +455,18 @@ def benchmark_hotpath(keys: Optional[Sequence[str]] = None,
             "analysis_hits": stats.analysis_hits,
             "analysis_misses": stats.analysis_misses,
             "hit_rate": stats.analysis_hits / launches if launches else 0.0,
+            "mode": "capture-replay" if capture_replay else "dispatch",
         }
+        if controller is not None:
+            workloads[key].update(controller.describe())
     analysis_cache.clear()
     return {
         "suite": list(keys),
         "scale": scale,
         "epochs": epochs,
         "seed": seed,
+        "capture_replay": capture_replay,
+        "fuse": fuse,
         "workloads": workloads,
         "warm_total_s": warm_total,
         "cold_total_s": cold_total,

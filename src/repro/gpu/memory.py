@@ -88,6 +88,14 @@ class MemoryPool:
         #: reads the simulated clock for OOM-event timestamps
         self.clock = clock
         self.strict = False
+        #: optional event tap (``repro.gpu.graph_capture``): every alloc/free
+        #: is mirrored as an ``("A", nbytes, label, phase)`` / ``("F", block,
+        #: requested)`` tuple so a captured epoch plan can re-drive the pool
+        #: deterministically during replay.  Survives :meth:`reset` — the tap
+        #: owner installs and removes it around one capture window.  The pool
+        #: is only ever driven while a DeviceMemoryTracker is installed, so
+        #: the ``None`` check never sits on the kernel-launch hot path.
+        self.tap: Optional[Callable[[tuple], None]] = None
         self.reset()
 
     def reset(self) -> None:
@@ -153,6 +161,8 @@ class MemoryPool:
             else:
                 entry[0] += 1
                 entry[1] += int(nbytes)
+        if self.tap is not None:
+            self.tap(("A", int(nbytes), label, phase))
         return block
 
     def free(self, block: int, requested: int = 0) -> None:
@@ -161,6 +171,8 @@ class MemoryPool:
         self.requested_live_bytes -= int(requested)
         self.free_count += 1
         self._free_blocks[block] = self._free_blocks.get(block, 0) + 1
+        if self.tap is not None:
+            self.tap(("F", block, int(requested)))
 
     def trim(self) -> int:
         """Release every cached free block back to the device

@@ -614,7 +614,8 @@ def validate_chrome(data: dict) -> None:
 
 # -- workload tracing entry points -------------------------------------------
 def trace_workload(key: str, scale: str = "test", epochs: int = 1,
-                   seed: int = 0, sim=None, memory: bool = False) -> Timeline:
+                   seed: int = 0, sim=None, memory: bool = False,
+                   mode: Optional[str] = None) -> Timeline:
     """Train ``epochs`` of one workload on a single traced device.
 
     Mirrors :func:`repro.testing.golden.fingerprint_workload`: reseed, build,
@@ -623,6 +624,11 @@ def trace_workload(key: str, scale: str = "test", epochs: int = 1,
     emits a live/reserved counter sample — Perfetto shows the HBM footprint
     as a counter track beside the kernel spans.  Golden trace fingerprints
     keep ``memory=False``, so their digests are untouched by the samples.
+
+    ``mode`` selects the training loop: ``None`` is the plain trainer,
+    ``"steady"`` enforces the static-input discipline, ``"capture"`` runs
+    capture/replay (repro.gpu.graph_capture) — the differential trace tests
+    compare the latter two byte-for-byte.
     """
     from ..core import registry
     from ..tensor import manual_seed
@@ -639,7 +645,9 @@ def trace_workload(key: str, scale: str = "test", epochs: int = 1,
         with session(devices=(device,)) as tracer:
             if memtracker is not None:
                 memtracker.set_counter_sink(tracer.counter_sink(device))
-            Trainer(workload=workload, device=device).run(epochs=epochs,
+            Trainer(workload=workload, device=device,
+                    steady=mode == "steady",
+                    capture_replay=mode == "capture").run(epochs=epochs,
                                                           seed=seed)
     return tracer.timeline()
 

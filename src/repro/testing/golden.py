@@ -301,6 +301,281 @@ def update_goldens(keys: Optional[list[str]] = None, scale: str = "test",
     return [save_golden(fingerprints[key]) for key in keys]
 
 
+# -- capture/replay differential fingerprints ---------------------------------
+# These extend the stream-digest contract to the *replay fast path*
+# (repro.gpu.graph_capture): a capture-replay run must be byte-identical to a
+# steady-dispatch run — same ordered stream, same final clocks, same
+# DeviceStats.  tests/test_graph_capture.py fans these out through the
+# execution engine across --jobs counts and analysis-cache settings.
+
+def capture_fingerprint(
+    key: str,
+    scale: str = "test",
+    epochs: int = 5,
+    seed: int = 0,
+    mode: str = "capture",
+    analysis_cache_enabled: Optional[bool] = None,
+) -> dict:
+    """Fingerprint a steady-state run, dispatched or captured-and-replayed.
+
+    ``mode="steady"`` restores the steady-state snapshot and dispatches every
+    epoch; ``mode="capture"`` runs the full warmup/capture/validate/replay
+    state machine.  Beyond :func:`fingerprint_workload`'s stream digest, the
+    payload pins the final device clocks and the complete ``DeviceStats`` —
+    the quantities replay recomputes rather than records.  The process-global
+    launch-analysis cache is cleared first (and forced on/off when
+    ``analysis_cache_enabled`` is not ``None``) so hit/miss telemetry is a
+    function of this run alone, regardless of what the hosting process or
+    pool worker executed before.
+    """
+    import contextlib
+    import dataclasses
+
+    from ..gpu import analysis_cache
+
+    if mode not in ("steady", "capture"):
+        raise ValueError(f"mode must be 'steady' or 'capture', not {mode!r}")
+    cache_ctx = (
+        contextlib.nullcontext()
+        if analysis_cache_enabled is None
+        else analysis_cache.override(analysis_cache_enabled)
+    )
+    with cache_ctx:
+        analysis_cache.clear()
+        spec = registry.get(key)
+        manual_seed(seed)
+        device = SimulatedGPU()
+        workload = spec.build(device=device, scale=scale)
+        device.reset()
+        recorder = StreamRecorder().attach(device)
+        trainer = Trainer(
+            workload=workload,
+            device=device,
+            steady=mode == "steady",
+            capture_replay=mode == "capture",
+        )
+        results = trainer.run(epochs=epochs, seed=seed)
+        recorder.detach()
+        analysis_cache.clear()
+
+    controller = trainer._controller
+    return {
+        "version": FINGERPRINT_VERSION,
+        "workload": key,
+        "scale": scale,
+        "epochs": epochs,
+        "seed": seed,
+        "mode": mode,
+        "analysis_cache": analysis_cache_enabled,
+        "launch_count": sum(1 for e in recorder.events if e[0] == "K"),
+        "transfer_count": sum(1 for e in recorder.events if e[0] == "T"),
+        "stream_digest": recorder.digest(),
+        "clock_s": device.clock_s,
+        "host_clock_s": device.host_clock_s,
+        "device_stats": dataclasses.asdict(device.stats),
+        "losses": [float(r.metrics.get("loss", 0.0)) for r in results],
+        "controller": controller.describe(),
+    }
+
+
+# -- golden fused streams -----------------------------------------------------
+# Fused plans intentionally diverge from dispatch (adjacent elementwise
+# launches merge into synthetic kernels), so they get their own snapshot
+# family instead of the differential contract: fused_<KEY>.json pins the
+# fused event stream, the fusion census, and the work-conservation totals.
+# Default goldens never see fusion — ``python -m repro golden`` output is
+# byte-for-byte unchanged by this feature.
+
+def fused_fingerprint(
+    key: str,
+    scale: str = "test",
+    epochs: int = 5,
+    seed: int = 0,
+) -> dict:
+    """Capture, fuse, and replay one workload; fingerprint the fused plan.
+
+    ``epochs`` must cover warmup + capture + validate + at least one replayed
+    epoch (>= 4).  Work conservation (summed instruction/byte counts equal
+    before and after fusion) is asserted here, at generation time, on top of
+    the property-test coverage.
+    """
+    import hashlib as _hashlib
+
+    from ..gpu import analysis_cache
+
+    if epochs < 4:
+        raise ValueError("fused fingerprints need epochs >= 4 "
+                         "(warmup, capture, validate, replay)")
+    analysis_cache.clear()
+    spec = registry.get(key)
+    manual_seed(seed)
+    device = SimulatedGPU()
+    workload = spec.build(device=device, scale=scale)
+    device.reset()
+    trainer = Trainer(workload=workload, device=device, fuse=True)
+    results = trainer.run(epochs=epochs, seed=seed)
+    analysis_cache.clear()
+
+    controller = trainer._controller
+    if controller.state != "replay":
+        raise RuntimeError(
+            f"{key}: capture fell back to dispatch: "
+            f"{controller.fallback_reason}"
+        )
+    plan, fused = controller.plan, controller.fused_plan
+
+    h = _hashlib.sha256()
+    fused_names: dict[str, int] = {}
+    for event in fused.events:
+        if event[0] == "K":
+            d = event[1].descriptor
+            line = ("K", d.name, d.op_class.value, d.phase, d.threads,
+                    d.block_size, d.fp32_flops, d.int32_iops, d.ldst_instrs,
+                    d.control_instrs, d.bytes_read, d.bytes_written)
+            if d.name.startswith("fused_elementwise_x"):
+                fused_names[d.name] = fused_names.get(d.name, 0) + 1
+        elif event[0] == "T":
+            r = event[1]
+            line = ("T", r.direction, r.label, r.nbytes, r.num_values,
+                    r.wire_bytes)
+        else:
+            line = event
+        h.update(repr(line).encode())
+        h.update(b"\n")
+
+    totals = plan.totals()
+    fused_totals = fused.totals()
+    for name, value in totals.items():
+        if not np.isclose(value, fused_totals[name], rtol=1e-9, atol=0.0):
+            raise AssertionError(
+                f"{key}: fusion lost work: {name} {value!r} -> "
+                f"{fused_totals[name]!r}"
+            )
+
+    # epoch 2 is the validated dispatch epoch, the last one a fused replay
+    return {
+        "version": FINGERPRINT_VERSION,
+        "workload": key,
+        "scale": scale,
+        "epochs": epochs,
+        "seed": seed,
+        "launch_count": plan.kernel_count,
+        "fused_launch_count": fused.kernel_count,
+        "fused_kernels": fused.fused_kernels,
+        "fused_members": fused.fused_members,
+        "fused_name_counts": dict(sorted(fused_names.items())),
+        "transfer_count": plan.transfer_count,
+        "totals": totals,
+        "epoch_sim_time_s_dispatch": results[2].sim_time_s,
+        "epoch_sim_time_s_fused": results[-1].sim_time_s,
+        "fused_stream_digest": h.hexdigest(),
+    }
+
+
+def fused_golden_path(key: str) -> Path:
+    return golden_dir() / f"fused_{key}.json"
+
+
+def load_fused_golden(key: str) -> dict:
+    path = fused_golden_path(key)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no golden fused stream for {key!r} at {path}; generate it with "
+            f"`python -m repro golden --fused --update`"
+        )
+    return json.loads(path.read_text())
+
+
+def save_fused_golden(fingerprint: dict) -> Path:
+    path = fused_golden_path(fingerprint["workload"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(fingerprint, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_fused_fingerprints(expected: dict, actual: dict) -> list[str]:
+    """Human-readable diffs (empty when fused streams match).
+
+    Counts, census and digest compare exactly; work totals allow float
+    accumulation noise; per-epoch simulated times are analytical-model
+    outputs and compare exactly, like trace timestamps.
+    """
+    diffs: list[str] = []
+    for field in ("version", "workload", "scale", "epochs", "seed",
+                  "launch_count", "fused_launch_count", "fused_kernels",
+                  "fused_members", "transfer_count",
+                  "epoch_sim_time_s_dispatch", "epoch_sim_time_s_fused"):
+        if expected.get(field) != actual.get(field):
+            diffs.append(f"{field}: expected {expected.get(field)!r}, "
+                         f"got {actual.get(field)!r}")
+    exp, act = (expected.get("fused_name_counts", {}),
+                actual.get("fused_name_counts", {}))
+    for name in sorted(set(exp) | set(act)):
+        if exp.get(name, 0) != act.get(name, 0):
+            diffs.append(f"fused_name_counts[{name}]: expected "
+                         f"{exp.get(name, 0)}, got {act.get(name, 0)}")
+    exp, act = expected.get("totals", {}), actual.get("totals", {})
+    for name in sorted(set(exp) | set(act)):
+        e, a = exp.get(name, 0.0), act.get(name, 0.0)
+        if not np.isclose(e, a, rtol=1e-9, atol=0.0):
+            diffs.append(f"totals[{name}]: expected {e!r}, got {a!r}")
+    if expected.get("fused_stream_digest") != actual.get("fused_stream_digest"):
+        diffs.append(
+            f"fused_stream_digest: expected "
+            f"{expected.get('fused_stream_digest')}, got "
+            f"{actual.get('fused_stream_digest')} — the fused event stream "
+            f"changed even though the summary stats above "
+            f"{'also differ' if diffs else 'still match'}"
+        )
+    return diffs
+
+
+def verify_fused_goldens(keys: Optional[list[str]] = None,
+                         jobs: Optional[int] = None,
+                         cache=None) -> dict[str, list[str]]:
+    """Diff fresh fused fingerprints against committed snapshots."""
+    from ..core import executor
+
+    keys = list(keys or registry.WORKLOAD_KEYS)
+    expected: dict[str, dict] = {}
+    diffs: dict[str, list[str]] = {}
+    for key in keys:
+        try:
+            expected[key] = load_fused_golden(key)
+        except FileNotFoundError as exc:
+            diffs[key] = [f"missing snapshot: {exc}"]
+
+    present = [k for k in keys if k in expected]
+    by_params: dict[tuple, list[str]] = {}
+    for key in present:
+        exp = expected[key]
+        params = (exp.get("scale", "test"), exp.get("epochs", 5),
+                  exp.get("seed", 0))
+        by_params.setdefault(params, []).append(key)
+    actual: dict[str, dict] = {}
+    for (scale, epochs, seed), group in by_params.items():
+        actual.update(executor.fused_suite(
+            group, scale=scale, epochs=epochs, seed=seed, jobs=jobs,
+            cache=cache,
+        ))
+    for key in present:
+        diffs[key] = compare_fused_fingerprints(expected[key], actual[key])
+    return {key: diffs[key] for key in keys}
+
+
+def update_fused_goldens(keys: Optional[list[str]] = None,
+                         scale: str = "test", epochs: int = 5, seed: int = 0,
+                         jobs: Optional[int] = None,
+                         cache=None) -> list[Path]:
+    """Regenerate fused snapshots for ``keys`` (default: whole registry)."""
+    from ..core import executor
+
+    keys = list(keys or registry.WORKLOAD_KEYS)
+    fingerprints = executor.fused_suite(keys, scale=scale, epochs=epochs,
+                                        seed=seed, jobs=jobs, cache=cache)
+    return [save_fused_golden(fingerprints[key]) for key in keys]
+
+
 # -- golden timeline traces ---------------------------------------------------
 # Trace fingerprints (repro.profiling.trace.trace_fingerprint) extend the
 # stream-digest contract to the *time domain*: they pin not just which

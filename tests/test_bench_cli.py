@@ -1,0 +1,62 @@
+"""CLI tests for the single-workload bench hot path (``bench --workload``)."""
+
+import json
+
+import pytest
+
+from repro import __main__ as cli
+
+
+class TestBenchWorkloadFlag:
+    def test_single_workload_hotpath_report(self, capsys, tmp_path):
+        out_path = tmp_path / "hotpath.json"
+        rc = cli.main(["bench", "--workload", "kgnnl", "--quick",
+                       "--capture-replay",
+                       "--hotpath-output", str(out_path)])
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        # filtered to exactly the requested workload — no suite-level pass
+        assert report["suite"] == ["KGNNL"]
+        assert list(report["workloads"]) == ["KGNNL"]
+        assert report["capture_replay"] is True
+        assert report["fuse"] is False
+        row = report["workloads"]["KGNNL"]
+        assert row["mode"] == "capture-replay"
+        assert row["state"] == "replay"
+        assert row["replayed_epochs"] >= 1
+        assert row["warm_epochs_per_s"] > 0
+        assert row["cold_epochs_per_s"] > 0
+        assert row["speedup"] == pytest.approx(
+            row["warm_epochs_per_s"] / row["cold_epochs_per_s"])
+        out = capsys.readouterr().out
+        assert "mode=capture-replay" in out
+        assert "KGNNL" in out
+        # single-workload mode skips the suite bench entirely
+        assert "cold serial" not in out
+
+    def test_dispatch_mode_row_shape(self, capsys, tmp_path):
+        out_path = tmp_path / "hotpath.json"
+        rc = cli.main(["bench", "--workload", "KGNNL", "--quick",
+                       "--hotpath-output", str(out_path)])
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        assert report["capture_replay"] is False
+        row = report["workloads"]["KGNNL"]
+        assert row["mode"] == "dispatch"
+        assert "replayed" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            cli.main(["bench", "--workload", "nope", "--quick",
+                      "--hotpath-output", str(tmp_path / "x.json")])
+
+    def test_baseline_gate_failure_propagates(self, capsys, tmp_path):
+        out_path = tmp_path / "hotpath.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"speedup": 1e9}))
+        rc = cli.main(["bench", "--workload", "KGNNL", "--quick",
+                      "--capture-replay",
+                      "--hotpath-output", str(out_path),
+                      "--baseline", str(baseline)])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out

@@ -1,0 +1,233 @@
+"""Property-based legality tests for the elementwise kernel-fusion pass.
+
+:func:`repro.gpu.graph_capture.fuse_events` returns both the rewritten event
+list and every ``(fused_launch, members)`` run it created, so fusion legality
+is checkable as a reconstruction property: expanding each fused kernel back
+into its members must reproduce the input event list *exactly*.  Any illegal
+fusion — across a phase or epoch boundary, a reduction, a transfer, a device
+change, a reordering — breaks reconstruction.
+
+Random sequences come from :mod:`repro.testing.launch_sequences`; explicit
+examples pin down each individual barrier kind.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import SimulatedGPU
+from repro.gpu.graph_capture import _compatible, fuse_events, fuse_run, fusible
+from repro.gpu.kernel import AccessPattern, OpClass
+from repro.testing.launch_sequences import (
+    EPOCH_BOUNDARY,
+    make_launch,
+    make_transfer,
+    random_events,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+
+from repro.testing.launch_sequences import events  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return SimulatedGPU().sim
+
+
+def reconstruct(out_events, runs):
+    """Expand every fused kernel in ``out_events`` back into its members."""
+    members_of = {id(fused): members for fused, members in runs}
+    expanded = []
+    for event in out_events:
+        if event[0] == "K" and id(event[1]) in members_of:
+            expanded.extend(("K", m) for m in members_of[id(event[1])])
+        else:
+            expanded.append(event)
+    return expanded
+
+
+def check_fusion(events_in, sim):
+    """All fusion invariants on one input sequence."""
+    out, runs = fuse_events(events_in, sim)
+
+    # 1. Reconstruction: expanding fused kernels reproduces the input
+    #    exactly (same objects, same order) — proves every run is a block of
+    #    *adjacent* events and nothing was dropped, duplicated or reordered,
+    #    hence no run crossed any barrier event.
+    assert reconstruct(out, runs) == events_in
+
+    for fused, members in runs:
+        # 2. Run legality: >= 2 members, all individually fusible, uniform
+        #    along every compatibility axis.
+        assert len(members) >= 2
+        head = members[0]
+        for m in members:
+            assert fusible(m)
+            assert _compatible(head, m)
+            assert m.device_id == head.device_id
+            assert m.descriptor.phase == head.descriptor.phase
+            assert m.descriptor.block_size == head.descriptor.block_size
+            assert (m.descriptor.access.element_bytes
+                    == head.descriptor.access.element_bytes)
+
+        # 3. Exact cost conservation: the fused descriptor's counts are the
+        #    member sums.  fuse_run sums in member order, so with the
+        #    integer-valued counts the generator emits this is exact FP
+        #    equality, not approximate.
+        d = fused.descriptor
+        assert d.fp32_flops == sum(m.descriptor.fp32_flops for m in members)
+        assert d.int32_iops == sum(m.descriptor.int32_iops for m in members)
+        assert d.ldst_instrs == sum(m.descriptor.ldst_instrs for m in members)
+        assert d.control_instrs == sum(
+            m.descriptor.control_instrs for m in members)
+        assert d.bytes_read == sum(m.descriptor.bytes_read for m in members)
+        assert d.bytes_written == sum(
+            m.descriptor.bytes_written for m in members)
+        assert d.threads == max(m.descriptor.threads for m in members)
+        # the fused kernel inherits the run's shared geometry and remains
+        # itself a legal fusion candidate
+        assert d.op_class is OpClass.ELEMENTWISE
+        assert d.phase == head.descriptor.phase
+        assert d.block_size == head.descriptor.block_size
+        assert fused.device_id == head.device_id
+        assert fusible(fused)
+        assert d.name == f"fused_elementwise_x{len(members)}"
+        # re-analysis happened: the fused launch has real timing
+        assert fused.duration_s > 0.0
+
+    # 4. Barrier events survive untouched, in order.
+    assert [e for e in events_in if e[0] != "K"] == \
+        [e for e in out if e[0] != "K"]
+
+    # 5. Maximality: no two adjacent output kernels could have been fused
+    #    with each other (otherwise the run wasn't maximal).
+    for a, b in zip(out, out[1:]):
+        if a[0] == "K" and b[0] == "K":
+            assert not (fusible(a[1]) and fusible(b[1])
+                        and _compatible(a[1], b[1]))
+    return out, runs
+
+
+@given(events())
+@settings(max_examples=150, deadline=None)
+def test_fusion_properties_hypothesis(seq):
+    check_fusion(seq, SimulatedGPU().sim)
+
+
+def test_fusion_properties_seeded(sim):
+    rng = np.random.default_rng(1234)
+    total_runs = 0
+    for _ in range(30):
+        _, runs = check_fusion(random_events(rng, size=60), sim)
+        total_runs += len(runs)
+    # the generator must actually exercise fusion, not vacuously pass
+    assert total_runs > 20
+
+
+def test_deterministic(sim):
+    seq = random_events(np.random.default_rng(7), size=50)
+    out1, runs1 = fuse_events(seq, sim)
+    out2, runs2 = fuse_events(seq, sim)
+    assert len(out1) == len(out2) and len(runs1) == len(runs2)
+    for (f1, m1), (f2, m2) in zip(runs1, runs2):
+        assert f1.descriptor == f2.descriptor
+        assert f1.duration_s == f2.duration_s
+        assert m1 == m2
+
+
+# -- explicit barrier examples ------------------------------------------------
+
+def _kernels_of(out):
+    return [e[1] for e in out if e[0] == "K"]
+
+
+def test_plain_run_fuses(sim):
+    seq = [make_launch("add"), make_launch("mul"), make_launch("relu")]
+    out, runs = fuse_events(seq, sim)
+    assert len(out) == 1 and len(runs) == 1
+    assert runs[0][0].descriptor.name == "fused_elementwise_x3"
+
+
+def test_reduction_is_barrier(sim):
+    seq = [make_launch("add"), make_launch("mul"),
+           make_launch("rowsum", op_class=OpClass.REDUCTION,
+                       reuse_factor=1.5),
+           make_launch("relu"), make_launch("sigmoid")]
+    out, runs = fuse_events(seq, sim)
+    assert [k.descriptor.name for k in _kernels_of(out)] == \
+        ["fused_elementwise_x2", "rowsum", "fused_elementwise_x2"]
+    assert len(runs) == 2
+
+
+def test_transfer_is_barrier(sim):
+    seq = [make_launch("add"), make_transfer(), make_launch("mul")]
+    out, runs = fuse_events(seq, sim)
+    assert runs == []
+    assert out == seq
+
+
+def test_epoch_boundary_is_barrier(sim):
+    seq = [make_launch("add"), make_launch("mul"),
+           EPOCH_BOUNDARY,
+           make_launch("relu"), make_launch("sigmoid")]
+    out, runs = fuse_events(seq, sim)
+    assert len(runs) == 2
+    assert out[1] is EPOCH_BOUNDARY
+    for _, members in runs:
+        assert len(members) == 2
+
+
+def test_phase_change_is_barrier(sim):
+    seq = [make_launch("add", phase="forward"),
+           make_launch("mul", phase="forward"),
+           make_launch("relu", phase="backward"),
+           make_launch("sigmoid", phase="backward")]
+    out, runs = fuse_events(seq, sim)
+    assert len(runs) == 2
+    assert {f.descriptor.phase for f, _ in runs} == {"forward", "backward"}
+
+
+def test_device_change_is_barrier(sim):
+    seq = [make_launch("add", device_id=0), make_launch("mul", device_id=0),
+           make_launch("relu", device_id=1), make_launch("sigmoid", device_id=1)]
+    out, runs = fuse_events(seq, sim)
+    assert len(runs) == 2
+    assert sorted(f.device_id for f, _ in runs) == [0, 1]
+
+
+def test_geometry_changes_are_barriers(sim):
+    for kw in ({"block_size": 128}, {"element_bytes": 8}):
+        seq = [make_launch("add"), make_launch("mul", **kw)]
+        _, runs = fuse_events(seq, sim)
+        assert runs == [], kw
+
+
+def test_unfusible_elementwise_variants(sim):
+    assert not fusible(make_launch("ew", reuse_factor=1.5)[1])
+    assert not fusible(make_launch("ew", compute_scale=2.0)[1])
+    assert not fusible(
+        make_launch("ew", access=AccessPattern.strided(128))[1])
+    assert not fusible(make_launch("gemm", op_class=OpClass.GEMM)[1])
+    assert fusible(make_launch("ew")[1])
+
+
+def test_singleton_not_fused(sim):
+    seq = [make_launch("add"), make_transfer(), make_launch("mul")]
+    out, runs = fuse_events(seq, sim)
+    assert runs == [] and _kernels_of(out)[0].descriptor.name == "add"
+
+
+def test_fuse_run_work_conservation_large(sim):
+    members = [make_launch("add", fp32_flops=float(i * 1000),
+                           int32_iops=float(i), bytes_read=float(i * 64),
+                           bytes_written=float(i * 32),
+                           threads=32 * (i + 1))[1]
+               for i in range(10)]
+    fused = fuse_run(members, sim)
+    assert fused.descriptor.fp32_flops == sum(
+        m.descriptor.fp32_flops for m in members)
+    assert fused.descriptor.threads == max(
+        m.descriptor.threads for m in members)
+    assert fused.descriptor.working_set_bytes == sum(
+        m.descriptor.working_set_bytes for m in members)

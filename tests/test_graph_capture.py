@@ -1,0 +1,232 @@
+"""Differential replay suite: captured-and-replayed epochs must be
+byte-identical to dispatched epochs.
+
+The headline guarantee of :mod:`repro.gpu.graph_capture` is that replaying a
+validated epoch plan is *indistinguishable* from dispatching the epoch — on
+the kernel/transfer event stream, the final device clocks, the complete
+``DeviceStats``, the kernel-timeline trace (memory counter samples included),
+and the full memory report.  Every test here compares a steady-dispatch run
+against a capture-replay run of the same workload and asserts equality, not
+closeness.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import executor, registry
+from repro.core.characterize import measure_memory
+from repro.gpu import SimulatedGPU, analysis_cache
+from repro.gpu.graph_capture import (
+    CaptureReplayController,
+    replay_epoch,
+    validate_events,
+)
+from repro.profiling.trace import trace_workload
+from repro.tensor import manual_seed
+from repro.testing.golden import StreamRecorder
+from repro.testing.launch_sequences import make_launch, make_transfer
+from repro.train.trainer import Trainer
+
+KEYS = list(registry.WORKLOAD_KEYS)
+
+# everything replay recomputes rather than records
+EXACT_FIELDS = ("stream_digest", "launch_count", "transfer_count",
+                "clock_s", "host_clock_s", "device_stats", "losses")
+
+
+@pytest.fixture(scope="module")
+def steady_baselines():
+    """Dispatch-side fingerprints for the whole registry, per cache setting.
+
+    ``analysis_hits``/``analysis_misses`` depend on whether the launch
+    analysis cache is enabled, so the baseline is taken once for each
+    setting and every capture run is compared against the matching one.
+    """
+    return {
+        enabled: executor.capture_suite(mode="steady",
+                                        analysis_cache_enabled=enabled,
+                                        jobs=1, cache=False)
+        for enabled in (True, False)
+    }
+
+
+class TestDifferentialReplay:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    @pytest.mark.parametrize("cache_enabled", [True, False])
+    def test_replay_matches_dispatch(self, steady_baselines, jobs,
+                                     cache_enabled):
+        replayed = executor.capture_suite(mode="capture",
+                                          analysis_cache_enabled=cache_enabled,
+                                          jobs=jobs, cache=False)
+        assert sorted(replayed) == sorted(KEYS)
+        for key in KEYS:
+            steady, capture = steady_baselines[cache_enabled], replayed[key]
+            for field in EXACT_FIELDS:
+                assert steady[key][field] == capture[field], (key, field)
+            # the run really replayed: warmup + capture + validate + 2 replays
+            ctrl = capture["controller"]
+            assert ctrl["state"] == "replay", (key, ctrl)
+            assert ctrl["fallback_reason"] is None
+            assert ctrl["replayed_epochs"] == 2
+            assert ctrl["plan_kernels"] > 0
+            assert steady[key]["controller"]["state"] == "steady"
+            assert steady[key]["controller"]["replayed_epochs"] == 0
+
+    @pytest.mark.parametrize("key", KEYS)
+    def test_trace_differential(self, key):
+        # memory=True also exercises the replayed pool events and the
+        # per-alloc/free memory counter samples on the trace timeline
+        analysis_cache.clear()
+        dispatched = trace_workload(key, epochs=5, memory=True, mode="steady")
+        analysis_cache.clear()
+        replayed = trace_workload(key, epochs=5, memory=True, mode="capture")
+        assert len(dispatched) == len(replayed)
+        assert dispatched.digest() == replayed.digest()
+
+    @pytest.mark.parametrize("key", KEYS)
+    def test_memory_report_differential(self, key):
+        analysis_cache.clear()
+        dispatched = measure_memory(key, epochs=5, mode="steady")
+        analysis_cache.clear()
+        replayed = measure_memory(key, epochs=5, mode="capture")
+        assert dispatched == replayed
+
+
+def _controller_run(key, replay, epochs=5, corrupt=False):
+    """Drive a controller epoch-by-epoch under a stream recorder."""
+    analysis_cache.clear()
+    spec = registry.get(key)
+    manual_seed(0)
+    device = SimulatedGPU()
+    workload = spec.build(device=device, scale="test")
+    device.reset()
+    recorder = StreamRecorder().attach(device)
+    controller = CaptureReplayController(workload, device, seed=0,
+                                         replay=replay)
+    for _ in range(epochs):
+        if corrupt and controller.state == "validate":
+            events, metrics = controller._captured
+            controller._captured = (events[:-1], metrics)
+        controller.step()
+    recorder.detach()
+    return {
+        "digest": recorder.digest(),
+        "clock_s": device.clock_s,
+        "host_clock_s": device.host_clock_s,
+        "stats": dataclasses.asdict(device.stats),
+    }, controller
+
+
+class TestFallback:
+    def test_corrupted_capture_falls_back_identically(self):
+        # A validation mismatch must (a) be detected, (b) permanently fall
+        # back to dispatch, and (c) leave the run byte-identical to a pure
+        # steady-dispatch run — fallback is invisible except in telemetry.
+        key = KEYS[0]
+        steady, steady_ctrl = _controller_run(key, replay=False)
+        broken, broken_ctrl = _controller_run(key, replay=True, corrupt=True)
+        assert steady_ctrl.state == "steady"
+        assert broken_ctrl.state == "fallback"
+        assert "event count" in broken_ctrl.fallback_reason \
+            or "diverged" in broken_ctrl.fallback_reason
+        assert broken_ctrl.replayed_epochs == 0
+        assert broken_ctrl.plan is None
+        assert broken == steady
+
+    def test_describe_reports_fallback(self):
+        _, ctrl = _controller_run(KEYS[0], replay=True, corrupt=True)
+        info = ctrl.describe()
+        assert info["state"] == "fallback"
+        assert info["fallback_reason"]
+        assert "plan_kernels" not in info
+
+
+class TestValidateEvents:
+    def test_identical_streams_pass(self):
+        events = [make_launch("add"), make_transfer(), make_launch("mul")]
+        assert validate_events(events, list(events)) is None
+
+    def test_length_mismatch(self):
+        events = [make_launch("add"), make_transfer()]
+        assert validate_events(events, events[:-1]) is not None
+
+    def test_tag_mismatch(self):
+        assert validate_events([make_launch("add")],
+                               [make_transfer()]) is not None
+
+    def test_descriptor_field_divergence(self):
+        assert validate_events(
+            [make_launch("add", fp32_flops=1024.0)],
+            [make_launch("add", fp32_flops=2048.0)]) is not None
+        assert validate_events([make_launch("add")],
+                               [make_launch("mul")]) is not None
+        assert validate_events(
+            [make_launch("add", phase="forward")],
+            [make_launch("add", phase="backward")]) is not None
+
+    def test_transfer_field_divergence(self):
+        assert validate_events([make_transfer(nbytes=4096)],
+                               [make_transfer(nbytes=8192)]) is not None
+        assert validate_events([make_transfer(direction="h2d")],
+                               [make_transfer(direction="d2h")]) is not None
+
+
+class TestReplayUnit:
+    def _plan(self, key=None):
+        key = key or KEYS[0]
+        analysis_cache.clear()
+        manual_seed(0)
+        device = SimulatedGPU()
+        workload = registry.get(key).build(device=device, scale="test")
+        device.reset()
+        trainer = Trainer(workload=workload, device=device,
+                          capture_replay=True)
+        trainer.run(epochs=4, seed=0)
+        ctrl = trainer._controller
+        assert ctrl.state == "replay"
+        return ctrl.plan, device, ctrl
+
+    def test_replay_metrics_are_fresh_copies(self):
+        plan, device, _ = self._plan()
+        first = replay_epoch(plan, device)
+        first["loss"] = -1.0
+        second = replay_epoch(plan, device)
+        assert second == plan.metrics
+        assert second["loss"] != -1.0
+
+    def test_replay_advances_launch_counter_and_clocks(self):
+        plan, device, _ = self._plan()
+        counter = device._launch_counter
+        clock = device.clock_s
+        replay_epoch(plan, device)
+        assert device._launch_counter == counter + plan.kernel_count
+        assert device.clock_s > clock
+
+    def test_plan_totals_match_descriptor_sums(self):
+        plan, _, _ = self._plan()
+        totals = plan.totals()
+        assert totals["fp32_flops"] == sum(
+            e[1].descriptor.fp32_flops for e in plan.events if e[0] == "K")
+        assert plan.kernel_count == sum(
+            1 for e in plan.events if e[0] == "K")
+        assert plan.transfer_count == sum(
+            1 for e in plan.events if e[0] == "T")
+
+    def test_trainer_controller_persists_across_runs(self):
+        # benchmark protocol: warmup run(1) then timed run(3) reuse one
+        # controller, so the timed run starts from the captured plan
+        analysis_cache.clear()
+        manual_seed(0)
+        device = SimulatedGPU()
+        workload = registry.get(KEYS[0]).build(device=device, scale="test")
+        device.reset()
+        trainer = Trainer(workload=workload, device=device,
+                          capture_replay=True)
+        trainer.run(epochs=1, seed=0)
+        first = trainer._controller
+        assert first is not None
+        trainer.run(epochs=3, seed=0)
+        assert trainer._controller is first
+        assert first.state == "replay"
+        assert first.replayed_epochs >= 1

@@ -1,0 +1,78 @@
+"""Serving latency vs offered load (the ``repro.serve`` flagship sweep).
+
+Sweeps queries-per-second for the PinSage recommendation workloads and
+prints the classic serving curves: tail latency, throughput and mean
+batch size as the arrival rate climbs.  Under dynamic batching the
+latency-vs-QPS curve is *not* monotone — at low load the batcher waits
+out ``max_wait_us`` on nearly every request, at high load batches fill
+early — so the assertions stick to structural validity: conservation at
+every point, saturation in mean batch size, and throughput tracking the
+offered load until the server saturates.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.serve import serve_run
+
+QPS_SWEEP = (50.0, 100.0, 200.0, 400.0)
+KEYS = ("PSAGE-MVL", "PSAGE-NWP")
+
+
+@pytest.mark.parametrize("key", KEYS)
+def test_latency_vs_qps(benchmark, key):
+    def run():
+        rows = {}
+        for qps in QPS_SWEEP:
+            report, _ = serve_run(key, scale="test", qps=qps,
+                                  batch_max=8, max_wait_us=2000.0,
+                                  requests=128, seed=0)
+            rows[qps] = report
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    print(f"\n{key}: serving latency vs offered load "
+          "(batch_max=8, max_wait=2000us)")
+    print(f"  {'qps':>6} {'p50 us':>10} {'p95 us':>10} {'p99 us':>10}"
+          f" {'rps':>8} {'mean batch':>11}")
+    for qps, r in rows.items():
+        lat = r["latency_us"]
+        print(f"  {qps:>6.0f} {lat['p50']:>10.1f} {lat['p95']:>10.1f}"
+              f" {lat['p99']:>10.1f} {r['throughput_rps']:>8.1f}"
+              f" {r['mean_batch_size']:>11.2f}")
+
+    for qps, r in rows.items():
+        # structural validity at every sweep point
+        assert r["completed"] == r["requests"] == 128, qps
+        assert sum(r["batch_size_hist"].values()) == r["batches"], qps
+        assert r["latency_us"]["p50"] <= r["latency_us"]["p99"], qps
+        assert r["throughput_rps"] > 0, qps
+        assert r["oom_events"] == 0, qps
+    # dynamic batching responds to load: batches fill as qps climbs
+    assert rows[QPS_SWEEP[-1]]["mean_batch_size"] \
+        >= rows[QPS_SWEEP[0]]["mean_batch_size"]
+
+
+def test_arrival_processes_share_mean_rate(benchmark):
+    """Bursty (MMPP) arrivals average the same qps as Poisson but queue
+    deeper during high-rate dwells — mean batch size should not shrink."""
+
+    def run():
+        out = {}
+        for arrival in ("poisson", "bursty"):
+            report, _ = serve_run("PSAGE-MVL", scale="test", qps=200.0,
+                                  arrival=arrival, batch_max=8,
+                                  max_wait_us=2000.0, requests=128, seed=0)
+            out[arrival] = report
+        return out
+
+    out = run_once(benchmark, run)
+    print("\narrival-process comparison at qps=200:")
+    for arrival, r in out.items():
+        print(f"  {arrival:<8} p99 {r['latency_us']['p99']:>9.1f} us"
+              f"   mean batch {r['mean_batch_size']:.2f}"
+              f"   {r['throughput_rps']:.1f} req/s")
+    for r in out.values():
+        assert r["completed"] == 128
+        assert r["throughput_rps"] > 0

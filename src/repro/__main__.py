@@ -21,6 +21,9 @@ Usage::
     python -m repro bench --workload ARGA  # one workload's hot path, isolated
     python -m repro trace dgcn             # Chrome-format kernel timeline
     python -m repro trace tlstm --gpus 4 -o trace.json
+    python -m repro serve psage-mvl --qps 100     # serving-latency report
+    python -m repro serve dgcn --arrival bursty --batch-max 16 -o serve.json
+    python -m repro golden --serve         # diff serving reports vs snapshots
 
 Suite-level commands accept ``--jobs N`` (characterize independent
 workloads on N worker processes) and ``--no-cache`` (recompute instead of
@@ -193,16 +196,22 @@ def _print_memstats(args, cache) -> int:
 
 def _run_golden(workload: str | None, update: bool, jobs: int | None,
                 cache, traces: bool = False, memory: bool = False,
-                fused: bool = False) -> int:
+                fused: bool = False, serve: bool = False) -> int:
     from .core import registry
     from .testing import golden
 
-    keys = [workload] if workload else list(registry.WORKLOAD_KEYS)
+    if serve:
+        keys = [workload] if workload else list(golden.SERVE_GOLDEN_KEYS)
+    else:
+        keys = [workload] if workload else list(registry.WORKLOAD_KEYS)
     unknown = [k for k in keys if k not in registry.WORKLOAD_KEYS]
     if unknown:
         print(f"unknown workload(s) {unknown}; have {sorted(registry.WORKLOAD_KEYS)}")
         return 2
-    if fused:
+    if serve:
+        update_fn = golden.update_serve_goldens
+        verify_fn = golden.verify_serve_goldens
+    elif fused:
         update_fn = golden.update_fused_goldens
         verify_fn = golden.verify_fused_goldens
     elif memory:
@@ -218,7 +227,8 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
         for path in update_fn(keys, jobs=jobs, cache=cache):
             print(f"wrote {path}")
         return 0
-    flag = (" --fused" if fused
+    flag = (" --serve" if serve
+            else " --fused" if fused
             else " --memory" if memory
             else " --traces" if traces else "")
     failed = 0
@@ -237,6 +247,68 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
         print(f"{failed} workload(s) diverged; regenerate intentionally with "
               f"`python -m repro golden{flag} --update`")
     return 1 if failed else 0
+
+
+def _print_serve_report(report: dict) -> None:
+    lat, wait, comp = (report["latency_us"], report["wait_us"],
+                       report["compute_us"])
+    print(f"== {report['workload']} (scale={report['scale']},"
+          f" arrival={report['arrival']}, qps={report['qps']:g},"
+          f" batch_max={report['batch_max']},"
+          f" max_wait={report['max_wait_us']:g} us)")
+    print(f"   served        {report['completed']} requests in"
+          f" {report['duration_s'] * 1e3:.2f} ms simulated"
+          f"  ({report['throughput_rps']:.1f} req/s)")
+    print(f"   {'':<10}{'p50':>10}{'p95':>10}{'p99':>10}{'max':>10}")
+    for name, block in (("latency", lat), ("wait", wait), ("compute", comp)):
+        print(f"   {name:<10}{block['p50']:>10.1f}{block['p95']:>10.1f}"
+              f"{block['p99']:>10.1f}{block['max']:>10.1f}  us")
+    hist = ", ".join(
+        f"{size}x{count}"
+        for size, count in sorted(report["batch_size_hist"].items(),
+                                  key=lambda kv: int(kv[0]))
+    )
+    print(f"   batches       {report['batches']}"
+          f" (mean size {report['mean_batch_size']:.2f}; {hist})")
+    print(f"   fast path     {report['captured_plans']} captured plan(s),"
+          f" {report['replayed_batches']} replayed batch(es)")
+    print(f"   HBM           peak live {report['peak_live_bytes'] / 1e6:.2f}"
+          f" MB, peak reserved {report['peak_reserved_bytes'] / 1e6:.2f} MB"
+          f" ({report['hbm_utilization'] * 100:.3f}% of capacity)")
+    if report["oom_events"]:
+        print(f"   OOM           {report['oom_events']} capacity"
+              f" violation(s)")
+    print(f"   serve digest  {report['serve_digest'][:16]}")
+
+
+def _run_serve(args) -> int:
+    from .profiling import trace as trace_mod
+    from .serve import serve_run
+
+    if not args.workload:
+        print("the 'serve' command needs a workload key, e.g. "
+              "`python -m repro serve psage-mvl --qps 100`")
+        return 2
+    key = _resolve_workload(args.workload)
+    try:
+        report, timeline = serve_run(
+            key, scale=args.scale or "test", qps=args.qps,
+            arrival=args.arrival, batch_max=args.batch_max,
+            max_wait_us=args.max_wait_us, requests=args.requests,
+            seed=args.seed, strict=args.strict,
+            traced=args.output is not None)
+    except ValueError as exc:  # contradictory knobs / unserveable workload
+        print(exc)
+        return 2
+    _print_serve_report(report)
+    if timeline is not None:
+        trace_mod.validate_chrome(timeline.to_chrome())
+        timeline.write(args.output)
+        print(f"wrote {args.output}  (load in https://ui.perfetto.dev or "
+              f"chrome://tracing)")
+    if args.metrics or args.metrics_output:
+        _dump_metrics(args.metrics_output)
+    return 0
 
 
 def _run_trace(args) -> int:
@@ -356,12 +428,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("command",
                         choices=["table1", *FIGURES, "fig9", "all",
                                  "profile", "memory", "memstats", "golden",
-                                 "bench", "trace"],
+                                 "bench", "trace", "serve"],
                         help="which artifact to regenerate")
     parser.add_argument("workload", nargs="?",
                         help="workload key (for 'profile', 'memstats', "
-                             "'golden' and 'trace'; case-insensitive for "
-                             "'trace' and 'memstats')")
+                             "'golden', 'trace' and 'serve'; "
+                             "case-insensitive for 'trace', 'memstats' "
+                             "and 'serve')")
     parser.add_argument("--epochs", type=int, default=1)
     parser.add_argument("--scale", default=None,
                         choices=["test", "profile", "scaling"],
@@ -388,6 +461,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="'golden': operate on fused-stream snapshots "
                              "(tests/golden/fused_*.json) — capture/replay "
                              "with elementwise fusion")
+    parser.add_argument("--serve", action="store_true",
+                        help="'golden': operate on serving snapshots "
+                             "(tests/golden/serve_*.json) — repro.serve "
+                             "latency reports")
+    parser.add_argument("--qps", type=float, default=100.0,
+                        help="'serve': mean request arrival rate "
+                             "(requests per simulated second)")
+    parser.add_argument("--arrival", choices=["poisson", "bursty"],
+                        default="poisson",
+                        help="'serve': arrival process (bursty = 2-state "
+                             "MMPP averaging the same qps)")
+    parser.add_argument("--batch-max", type=int, default=8,
+                        help="'serve': dynamic batcher size cap")
+    parser.add_argument("--max-wait-us", type=float, default=2000.0,
+                        help="'serve': longest the batcher may hold the "
+                             "queue head (simulated microseconds)")
+    parser.add_argument("--requests", type=int, default=256,
+                        help="'serve': number of requests to generate")
     parser.add_argument("--capture-replay", action="store_true",
                         help="'bench': capture each workload's steady-state "
                              "epoch and replay it instead of re-dispatching "
@@ -432,11 +523,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "golden":
         return _run_golden(args.workload, args.update, args.jobs, cache,
                            traces=args.traces, memory=args.memory,
-                           fused=args.fused)
+                           fused=args.fused, serve=args.serve)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "memstats":
         return _print_memstats(args, cache)
 

@@ -300,6 +300,11 @@ def profile_inference(
 
     One warm-up training epoch brings the model off its initialization;
     instrumentation then captures only the no-grad evaluation pass.
+
+    Instrumentation matches :func:`profile_workload`: a timeline tracer
+    rides along (unless the caller already installed one), so inference
+    profiles carry ``timeline_summary`` with forward-phase spans, and the
+    finished profile lands in the metrics registry.
     """
     import numpy as np
 
@@ -314,15 +319,23 @@ def profile_inference(
     kernels = KernelProfiler().attach(device)
     sparsity = SparsityTracker().attach(device)
     divergence = DivergenceInstrument().attach(device)
+    tracer = None
+    if trace.active() is None:
+        tracer = trace.install(trace.Tracer().attach(device))
 
-    t0 = device.elapsed_s()
-    _run_inference(key, workload, rng)
-    elapsed = device.elapsed_s() - t0
+    try:
+        t0 = device.elapsed_s()
+        _run_inference(key, workload, rng)
+        elapsed = device.elapsed_s() - t0
+    finally:
+        if tracer is not None:
+            trace.uninstall()
+            tracer.detach()
 
     kernels.detach()
     sparsity.detach()
     divergence.detach()
-    return WorkloadProfile(
+    profile = WorkloadProfile(
         key=key,
         spec=spec,
         kernels=kernels,
@@ -334,7 +347,13 @@ def profile_inference(
         launch_count=device.stats.kernel_count,
         analysis_hits=device.stats.analysis_hits,
         analysis_misses=device.stats.analysis_misses,
+        timeline_summary=tracer.timeline().summary() if tracer else {},
     )
+    from ..profiling import metrics as metrics_mod
+
+    metrics_mod.collect_device(device)
+    metrics_mod.collect_profile(profile)
+    return profile
 
 
 def _run_inference(key: str, workload, rng) -> None:

@@ -29,6 +29,7 @@ boundaries without pickling closures:
 * ``("memstats", {...})``     → :func:`repro.core.characterize.measure_memory`
 * ``("capture_fingerprint", {...})`` → :func:`repro.testing.golden.capture_fingerprint`
 * ``("fused_fingerprint", {...})``   → :func:`repro.testing.golden.fused_fingerprint`
+* ``("serve", {...})``        → :func:`repro.serve.serve_report`
 
 ``jobs=None`` resolves the worker count from ``$REPRO_JOBS`` (default 1),
 which is how CI exercises the parallel path under the stock pytest suite.
@@ -90,6 +91,12 @@ def _run_fused_fingerprint(params: dict):
     return golden.fused_fingerprint(**params)
 
 
+def _run_serve(params: dict):
+    from ..serve import server
+
+    return server.serve_report(**params)
+
+
 _TASK_RUNNERS = {
     "profile": _run_profile,
     "fingerprint": _run_fingerprint,
@@ -98,6 +105,7 @@ _TASK_RUNNERS = {
     "memstats": _run_memstats,
     "capture_fingerprint": _run_capture_fingerprint,
     "fused_fingerprint": _run_fused_fingerprint,
+    "serve": _run_serve,
 }
 
 
@@ -304,6 +312,31 @@ def fused_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
     tasks: list[Task] = [
         ("fused_fingerprint", dict(key=k, scale=scale, epochs=epochs,
                                    seed=seed))
+        for k in keys
+    ]
+    return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))
+
+
+def serve_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
+                qps: float = 100.0, arrival: str = "poisson",
+                batch_max: int = 8, max_wait_us: float = 2000.0,
+                requests: int = 256, num_users: int = 64, seed: int = 0,
+                jobs: Optional[int] = None, cache=None) -> dict:
+    """Serving reports for ``keys`` (default: the serveable workloads).
+
+    Each report is a pure function of its own parameters — seeded arrivals,
+    simulated-clock queueing, capture/replay batch execution — so serving
+    digests are byte-identical across ``--jobs``, cache settings and repeat
+    runs (``tests/test_serve_golden.py`` pins the matrix).
+    """
+    if keys is None:
+        from ..serve import SERVEABLE
+
+        keys = list(SERVEABLE)
+    tasks: list[Task] = [
+        ("serve", dict(key=k, scale=scale, qps=qps, arrival=arrival,
+                       batch_max=batch_max, max_wait_us=max_wait_us,
+                       requests=requests, num_users=num_users, seed=seed))
         for k in keys
     ]
     return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))

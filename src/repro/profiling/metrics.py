@@ -373,6 +373,46 @@ def collect_profile(profile,
         / max(1, profile.analysis_hits + profile.analysis_misses))
 
 
+def collect_serve(report: dict,
+                  registry: Optional[MetricsRegistry] = None) -> None:
+    """Absorb one serving report (:func:`repro.serve.serve_report`).
+
+    Every series carries the ``workload`` / ``arrival`` / ``batch_max``
+    label triple, so latency-vs-QPS sweeps land as distinct label sets in
+    one registry.
+    """
+    reg = registry if registry is not None else REGISTRY
+    labels = {"workload": report["workload"], "arrival": report["arrival"],
+              "batch_max": str(report["batch_max"])}
+    g = reg.gauge
+    for block, help_text in (
+        ("latency_us", "End-to-end request latency (us)"),
+        ("wait_us", "Queue-wait component of request latency (us)"),
+        ("compute_us", "Compute component of request latency (us)"),
+    ):
+        for quantile, value in report[block].items():
+            g(f"repro_serve_{block}", help_text,
+              quantile=quantile, **labels).set(value)
+    g("repro_serve_throughput_rps", "Served requests per simulated second",
+      **labels).set(report["throughput_rps"])
+    g("repro_serve_requests_total", "Requests served",
+      **labels).set(report["completed"])
+    g("repro_serve_batches_total", "Batches executed",
+      **labels).set(report["batches"])
+    g("repro_serve_captured_plans", "Distinct batch sizes captured",
+      **labels).set(report["captured_plans"])
+    g("repro_serve_replayed_batches_total", "Batches served by plan replay",
+      **labels).set(report["replayed_batches"])
+    g("repro_serve_peak_live_bytes", "Peak live HBM during serving",
+      **labels).set(report["peak_live_bytes"])
+    g("repro_serve_peak_reserved_bytes", "Peak reserved HBM during serving",
+      **labels).set(report["peak_reserved_bytes"])
+    for size, count in sorted(report["batch_size_hist"].items(),
+                              key=lambda kv: int(kv[0])):
+        g("repro_serve_batch_size_count", "Executed batches by size",
+          size=size, **labels).set(count)
+
+
 def observe_task(kind: str, seconds: float, cached: bool,
                  registry: Optional[MetricsRegistry] = None) -> None:
     """Record one executor task completion (wall latency + cache outcome)."""

@@ -27,6 +27,11 @@ tid            contents
 ``h2d``/``d2h``  transfers, annotated with byte counts and (for H2D,
                where the payload is deterministic input data) sparsity
 ``allreduce``  NVLink ring-allreduce bucket spans (multi-GPU runs)
+``serve``      one span per executed serving batch (repro.serve), from
+               batch start to completion, annotated with size and
+               capture-vs-replay mode
+``queue``      one span per serving request's queue wait, from arrival
+               to its batch's start
 =============  =========================================================
 
 Determinism rules
@@ -80,13 +85,17 @@ CAT_EPOCH = "epoch"
 #: zero-duration samples exported as Chrome Counter ("C") events — Perfetto
 #: renders them as a memory-over-time track beside the kernel spans
 CAT_COUNTER = "counter"
+#: serving-simulation spans (repro.serve): one per executed batch on the
+#: ``serve`` stream, one per request's queue wait on the ``queue`` stream
+CAT_SERVE = "serve"
+CAT_QUEUE = "queue"
 
 #: categories that occupy the device (busy/idle accounting)
 DEVICE_CATS = (CAT_KERNEL, CAT_TRANSFER, CAT_ALLREDUCE)
 
 #: canonical stream display order inside one pid
 _TID_RANK = {"epoch": 0, "phase": 1, "kernels": 2, "h2d": 3, "d2h": 4,
-             "allreduce": 5, "memory": 6}
+             "allreduce": 5, "memory": 6, "serve": 7, "queue": 8}
 
 
 def _tid_rank(tid: str) -> int:

@@ -149,8 +149,11 @@ def segment_sum_data(src: np.ndarray, index: np.ndarray, num_segments: int) -> n
     would dominate.  The index-only prep of either branch is memoized per
     index array (:func:`_segsum_plan`).
     """
-    src2d = src.reshape(src.shape[0], -1)
-    cols = src2d.shape[1]
+    # reshape(n, -1) cannot infer the trailing dim when n == 0, so spell it
+    # out; an empty source (e.g. a sampled block with no edges) scatters to
+    # all-zero segments.
+    cols = int(np.prod(src.shape[1:], dtype=np.int64)) if src.ndim > 1 else 1
+    src2d = src.reshape(src.shape[0], cols)
     idx = index.astype(np.int64, copy=False)
     plan = _segsum_plan(idx, num_segments, cols)
     if cols >= 24:

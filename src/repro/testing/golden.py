@@ -763,6 +763,134 @@ def compare_memory_fingerprints(expected: dict, actual: dict) -> list[str]:
     return diffs
 
 
+# -- golden serving snapshots -------------------------------------------------
+# Serving reports (repro.serve.serve_report) pin the *latency domain*:
+# request arrivals from seeded RNG streams, queue waits and batch spans on
+# the simulated clock, capture/replay batch execution, and the serving HBM
+# peaks.  Every field is analytic (shapes + seeded draws + the device model),
+# so snapshots compare EXACTLY — byte-for-byte across repeat runs, --jobs
+# counts, and analysis-cache on/off (tests/test_serve_golden.py).
+
+#: default snapshot set for ``python -m repro golden --serve``: the flagship
+#: recsys serving scenarios plus the batched-molecule classifier
+SERVE_GOLDEN_KEYS = ("PSAGE-MVL", "PSAGE-NWP", "DGCN")
+
+#: the parameters a serve snapshot records (and verification replays under)
+_SERVE_PARAM_FIELDS = ("scale", "qps", "arrival", "batch_max", "max_wait_us",
+                       "requests", "num_users", "seed")
+
+
+def serve_golden_path(key: str) -> Path:
+    return golden_dir() / f"serve_{key}.json"
+
+
+def load_serve_golden(key: str) -> dict:
+    path = serve_golden_path(key)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no golden serving snapshot for {key!r} at {path}; generate it "
+            f"with `python -m repro golden --serve --update`"
+        )
+    return json.loads(path.read_text())
+
+
+def save_serve_golden(report: dict) -> Path:
+    path = serve_golden_path(report["workload"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_serve_reports(expected: dict, actual: dict) -> list[str]:
+    """Human-readable diffs (empty when reports match byte-for-byte).
+
+    Everything compares exactly: latencies are simulated-clock arithmetic,
+    arrivals are seeded RNG draws, and HBM peaks are shape-derived — there
+    is no nondeterminism to forgive.  The digest-drift line comes last, as
+    in every other golden family.
+    """
+    diffs: list[str] = []
+    nested = {"latency_us", "wait_us", "compute_us", "batch_size_hist",
+              "plan_kernels"}
+    scalar_fields = sorted(
+        (set(expected) | set(actual)) - nested - {"serve_digest"}
+    )
+    for field in scalar_fields:
+        if expected.get(field) != actual.get(field):
+            diffs.append(f"{field}: expected {expected.get(field)!r}, "
+                         f"got {actual.get(field)!r}")
+    for block in sorted(nested):
+        exp, act = expected.get(block, {}), actual.get(block, {})
+        for name in sorted(set(exp) | set(act)):
+            if exp.get(name) != act.get(name):
+                diffs.append(f"{block}[{name}]: expected {exp.get(name)!r}, "
+                             f"got {act.get(name)!r}")
+    if expected.get("serve_digest") != actual.get("serve_digest"):
+        diffs.append(
+            f"serve_digest: expected {expected.get('serve_digest')}, "
+            f"got {actual.get('serve_digest')} — the canonical serving "
+            f"report changed even though the summary stats above "
+            f"{'also differ' if diffs else 'still match'}"
+        )
+    return diffs
+
+
+def verify_serve_goldens(keys: Optional[list[str]] = None,
+                         jobs: Optional[int] = None,
+                         cache=None) -> dict[str, list[str]]:
+    """Diff fresh serving reports against committed snapshots.
+
+    Mirrors :func:`verify_memory_goldens`: reports regenerate under each
+    snapshot's own recorded parameters, missing snapshots surface as
+    one-line diffs, and generation fans out through the execution engine.
+    """
+    from ..core import executor
+
+    keys = list(keys or SERVE_GOLDEN_KEYS)
+    expected: dict[str, dict] = {}
+    diffs: dict[str, list[str]] = {}
+    for key in keys:
+        try:
+            expected[key] = load_serve_golden(key)
+        except FileNotFoundError as exc:
+            diffs[key] = [f"missing snapshot: {exc}"]
+
+    present = [k for k in keys if k in expected]
+    by_params: dict[tuple, list[str]] = {}
+    for key in present:
+        exp = expected[key]
+        params = tuple(exp.get(f) for f in _SERVE_PARAM_FIELDS)
+        by_params.setdefault(params, []).append(key)
+    actual: dict[str, dict] = {}
+    for params, group in by_params.items():
+        actual.update(executor.serve_suite(
+            group, jobs=jobs, cache=cache,
+            **dict(zip(_SERVE_PARAM_FIELDS, params)),
+        ))
+    for key in present:
+        diffs[key] = compare_serve_reports(expected[key], actual[key])
+    return {key: diffs[key] for key in keys}
+
+
+def update_serve_goldens(keys: Optional[list[str]] = None,
+                         scale: str = "test", qps: float = 100.0,
+                         arrival: str = "poisson", batch_max: int = 8,
+                         max_wait_us: float = 2000.0, requests: int = 256,
+                         num_users: int = 64, seed: int = 0,
+                         jobs: Optional[int] = None,
+                         cache=None) -> list[Path]:
+    """Regenerate serving snapshots for ``keys`` (default: the flagships)."""
+    from ..core import executor
+
+    keys = list(keys or SERVE_GOLDEN_KEYS)
+    reports = executor.serve_suite(keys, scale=scale, qps=qps,
+                                   arrival=arrival, batch_max=batch_max,
+                                   max_wait_us=max_wait_us, requests=requests,
+                                   num_users=num_users, seed=seed, jobs=jobs,
+                                   cache=cache)
+    return [save_serve_golden(reports[key]) for key in keys]
+
+
 def verify_memory_goldens(keys: Optional[list[str]] = None,
                           jobs: Optional[int] = None,
                           cache=None) -> dict[str, list[str]]:

@@ -4,16 +4,16 @@ import json
 
 import pytest
 
-from repro import __main__ as cli
+from tests.cli_helpers import run_cli
 
 
 class TestBenchWorkloadFlag:
     def test_single_workload_hotpath_report(self, capsys, tmp_path):
         out_path = tmp_path / "hotpath.json"
-        rc = cli.main(["bench", "--workload", "kgnnl", "--quick",
+        res = run_cli(["bench", "--workload", "kgnnl", "--quick",
                        "--capture-replay",
-                       "--hotpath-output", str(out_path)])
-        assert rc == 0
+                       "--hotpath-output", str(out_path)], capsys)
+        assert res.code == 0
         report = json.loads(out_path.read_text())
         # filtered to exactly the requested workload — no suite-level pass
         assert report["suite"] == ["KGNNL"]
@@ -28,35 +28,35 @@ class TestBenchWorkloadFlag:
         assert row["cold_epochs_per_s"] > 0
         assert row["speedup"] == pytest.approx(
             row["warm_epochs_per_s"] / row["cold_epochs_per_s"])
-        out = capsys.readouterr().out
-        assert "mode=capture-replay" in out
-        assert "KGNNL" in out
+        assert "mode=capture-replay" in res.out
+        assert "KGNNL" in res.out
         # single-workload mode skips the suite bench entirely
-        assert "cold serial" not in out
+        assert "cold serial" not in res.out
 
     def test_dispatch_mode_row_shape(self, capsys, tmp_path):
         out_path = tmp_path / "hotpath.json"
-        rc = cli.main(["bench", "--workload", "KGNNL", "--quick",
-                       "--hotpath-output", str(out_path)])
-        assert rc == 0
+        res = run_cli(["bench", "--workload", "KGNNL", "--quick",
+                       "--hotpath-output", str(out_path)], capsys)
+        assert res.code == 0
         report = json.loads(out_path.read_text())
         assert report["capture_replay"] is False
         row = report["workloads"]["KGNNL"]
         assert row["mode"] == "dispatch"
-        assert "replayed" in capsys.readouterr().out
+        assert "replayed" in res.out
 
-    def test_unknown_workload_rejected(self, tmp_path):
-        with pytest.raises(SystemExit, match="unknown workload"):
-            cli.main(["bench", "--workload", "nope", "--quick",
-                      "--hotpath-output", str(tmp_path / "x.json")])
+    def test_unknown_workload_rejected(self, capsys, tmp_path):
+        res = run_cli(["bench", "--workload", "nope", "--quick",
+                       "--hotpath-output", str(tmp_path / "x.json")], capsys)
+        assert res.code != 0
+        assert "unknown workload" in res.err
 
     def test_baseline_gate_failure_propagates(self, capsys, tmp_path):
         out_path = tmp_path / "hotpath.json"
         baseline = tmp_path / "baseline.json"
         baseline.write_text(json.dumps({"speedup": 1e9}))
-        rc = cli.main(["bench", "--workload", "KGNNL", "--quick",
-                      "--capture-replay",
-                      "--hotpath-output", str(out_path),
-                      "--baseline", str(baseline)])
-        assert rc == 1
-        assert "REGRESSION" in capsys.readouterr().out
+        res = run_cli(["bench", "--workload", "KGNNL", "--quick",
+                       "--capture-replay",
+                       "--hotpath-output", str(out_path),
+                       "--baseline", str(baseline)], capsys)
+        assert res.code == 1
+        assert "REGRESSION" in res.out

@@ -1,0 +1,92 @@
+"""CLI tests for ``python -m repro serve`` and ``golden --serve``.
+
+Error paths (unknown workload, contradictory flags) must exit non-zero
+with a usable message; the happy path prints the latency report and the
+digest, and ``-o`` exports a schema-valid Chrome trace.
+"""
+
+import json
+
+import pytest
+
+from repro.profiling import trace
+from tests.cli_helpers import run_cli
+
+
+class TestServeCommand:
+    def test_happy_path_prints_report(self, capsys):
+        res = run_cli(["serve", "psage-mvl", "--qps", "200",
+                       "--requests", "32"], capsys)
+        assert res.code == 0
+        assert "PSAGE-MVL" in res.out
+        assert "latency" in res.out
+        assert "p50" in res.out and "p99" in res.out
+        assert "serve digest" in res.out
+        assert "req/s" in res.out
+
+    def test_trace_export_validates(self, capsys, tmp_path):
+        out_path = tmp_path / "serve.json"
+        res = run_cli(["serve", "dgcn", "--qps", "200", "--requests", "16",
+                       "--arrival", "bursty", "-o", str(out_path)], capsys)
+        assert res.code == 0
+        data = json.loads(out_path.read_text())
+        trace.validate_chrome(data)
+        cats = {ev.get("cat") for ev in data["traceEvents"]}
+        assert "serve" in cats and "queue" in cats
+        assert str(out_path) in res.out
+
+    def test_repeat_runs_print_same_digest(self, capsys):
+        argv = ["serve", "dgcn", "--qps", "150", "--requests", "16"]
+        first = run_cli(argv, capsys)
+        second = run_cli(argv, capsys)
+        digest = [ln for ln in first.out.splitlines() if "digest" in ln]
+        assert digest and digest == \
+            [ln for ln in second.out.splitlines() if "digest" in ln]
+
+    def test_missing_workload_rejected(self, capsys):
+        res = run_cli(["serve"], capsys)
+        assert res.code == 2
+        assert "workload" in (res.out + res.err).lower()
+
+    def test_unknown_workload_rejected(self, capsys):
+        res = run_cli(["serve", "nope"], capsys)
+        assert res.code != 0
+        assert "unknown workload" in res.err
+
+    def test_unserveable_workload_rejected(self, capsys):
+        res = run_cli(["serve", "tlstm"], capsys)
+        assert res.code == 2
+        assert "no serving engine" in res.out + res.err
+
+    @pytest.mark.parametrize("argv,needle", [
+        (["serve", "dgcn", "--qps", "0"], "qps"),
+        (["serve", "dgcn", "--qps", "-5"], "qps"),
+        (["serve", "dgcn", "--batch-max", "0"], "batch-max"),
+        (["serve", "dgcn", "--max-wait-us", "-1"], "max-wait-us"),
+        (["serve", "dgcn", "--requests", "0"], "requests"),
+    ])
+    def test_contradictory_flags_rejected(self, capsys, argv, needle):
+        res = run_cli(argv, capsys)
+        assert res.code == 2
+        message = res.out + res.err
+        assert needle in message
+        assert "got" in message  # echoes the offending value back
+
+    def test_bad_arrival_rejected_by_argparse(self, capsys):
+        res = run_cli(["serve", "dgcn", "--arrival", "uniform"], capsys)
+        assert res.code == 2
+        assert "invalid choice" in res.err
+
+
+class TestGoldenServeFlow:
+    def test_verify_against_committed_snapshots(self, capsys):
+        res = run_cli(["golden", "--serve"], capsys)
+        assert res.code == 0
+        for key in ("PSAGE-MVL", "PSAGE-NWP", "DGCN"):
+            assert f"{key}: ok" in res.out
+
+    def test_single_key_verify(self, capsys):
+        res = run_cli(["golden", "DGCN", "--serve"], capsys)
+        assert res.code == 0
+        assert "DGCN: ok" in res.out
+        assert "PSAGE-MVL" not in res.out

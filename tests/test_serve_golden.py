@@ -1,0 +1,79 @@
+"""Golden snapshot + determinism matrix for serving reports.
+
+Mirrors ``tests/test_memory_golden.py``: the committed
+``tests/golden/serve_*.json`` snapshots pin every field of the serving
+report (latency quantiles, batch histogram, HBM peaks, digest), and the
+determinism matrix shows the report is a pure function of its parameters
+— byte-identical across repeat runs, worker counts, profile-cache
+warm/cold, and analysis-cache on/off.
+"""
+
+import json
+
+import pytest
+
+from repro.core import executor
+from repro.core.cache import ProfileCache
+from repro.gpu import analysis_cache
+from repro.serve.server import digest_report, serve_report
+from repro.testing import golden
+
+KEYS = list(golden.SERVE_GOLDEN_KEYS)
+
+
+def _canonical(report) -> str:
+    return json.dumps(report, sort_keys=True)
+
+
+class TestCommittedSnapshots:
+    @pytest.mark.parametrize("key", KEYS)
+    def test_snapshot_exists_and_is_wellformed(self, key):
+        report = golden.load_serve_golden(key)
+        assert report["workload"] == key
+        assert report["completed"] == report["requests"]
+        assert report["serve_digest"] == digest_report(report)
+        q = report["latency_us"]
+        assert q["p50"] <= q["p95"] <= q["p99"] <= q["max"]
+
+    def test_fresh_runs_match_goldens(self):
+        diffs = golden.verify_serve_goldens(KEYS)
+        assert diffs == {key: [] for key in KEYS}
+
+    def test_digest_drift_is_reported_last(self):
+        expected = golden.load_serve_golden("DGCN")
+        mutated = json.loads(json.dumps(expected))
+        mutated["batches"] += 1
+        mutated["serve_digest"] = digest_report(mutated)
+        diff = golden.compare_serve_reports(expected, mutated)
+        assert any("batches" in line for line in diff)
+        assert "serve_digest" in diff[-1]
+
+
+class TestDeterminism:
+    def test_repeat_runs_byte_identical(self):
+        a = serve_report("DGCN", scale="test", requests=24, qps=200.0)
+        b = serve_report("DGCN", scale="test", requests=24, qps=200.0)
+        assert _canonical(a) == _canonical(b)
+
+    def test_jobs_do_not_change_reports(self):
+        serial = executor.serve_suite(KEYS, requests=24, jobs=1, cache=False)
+        forked = executor.serve_suite(KEYS, requests=24, jobs=2, cache=False)
+        for key in KEYS:
+            assert _canonical(serial[key]) == _canonical(forked[key]), key
+
+    def test_profile_cache_replays_identically(self, tmp_path):
+        cache = ProfileCache(tmp_path)
+        cold = executor.serve_suite(KEYS, requests=24, cache=cache)
+        warm = executor.serve_suite(KEYS, requests=24, cache=cache)
+        assert cache.hits >= len(KEYS)
+        for key in KEYS:
+            assert _canonical(cold[key]) == _canonical(warm[key]), key
+
+    def test_analysis_cache_does_not_change_report(self):
+        with analysis_cache.override(True):
+            cached = serve_report("PSAGE-MVL", scale="test", requests=24)
+        with analysis_cache.override(False):
+            uncached = serve_report("PSAGE-MVL", scale="test", requests=24)
+        # launch-analysis memoization is a speed knob, not a semantics knob:
+        # everything except the hit/miss ratio must be byte-identical
+        assert _canonical(cached) == _canonical(uncached)

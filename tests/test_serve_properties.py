@@ -1,0 +1,132 @@
+"""Property tests for the queueing model (``repro.serve.queueing``).
+
+The batcher's documented guarantees — conservation, FIFO ordering, size
+bounds, the max-wait deadline, non-overlapping service — are checked
+over randomized arrival schedules and batcher knobs with a synthetic
+affine service-time model (no device; the properties are about the
+queueing discipline, not kernel timing).
+"""
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.serve.queueing import Request, run_queue  # noqa: E402
+from repro.serve.server import _quantiles_us  # noqa: E402
+
+settings.register_profile("serve", max_examples=80, deadline=None)
+settings.load_profile("serve")
+
+
+gaps_st = st.lists(
+    st.floats(min_value=0.0, max_value=0.05,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=60)
+batch_max_st = st.integers(min_value=1, max_value=12)
+wait_st = st.floats(min_value=0.0, max_value=0.02,
+                    allow_nan=False, allow_infinity=False)
+base_st = st.floats(min_value=1e-6, max_value=0.01,
+                    allow_nan=False, allow_infinity=False)
+per_req_st = st.floats(min_value=0.0, max_value=0.002,
+                       allow_nan=False, allow_infinity=False)
+
+
+def _requests(gaps):
+    t = 0.0
+    out = []
+    for i, g in enumerate(gaps):
+        t += g
+        out.append(Request(index=i, user=0, entity=i, arrival_s=t))
+    return out
+
+
+def _run(gaps, batch_max, max_wait_s, base_s, per_req_s):
+    reqs = _requests(gaps)
+    served, batches = run_queue(
+        reqs, batch_max=batch_max, max_wait_s=max_wait_s,
+        run_batch=lambda members, start_s:
+            start_s + base_s + per_req_s * len(members))
+    return reqs, served, batches
+
+
+class TestQueueProperties:
+    @given(gaps=gaps_st, batch_max=batch_max_st, max_wait_s=wait_st,
+           base_s=base_st, per_req_s=per_req_st)
+    def test_conservation(self, gaps, batch_max, max_wait_s, base_s,
+                          per_req_s):
+        reqs, served, batches = _run(gaps, batch_max, max_wait_s,
+                                     base_s, per_req_s)
+        # every request in == exactly one completion, partitioned by batch
+        assert len(served) == len(reqs)
+        assert sum(b.size for b in batches) == len(reqs)
+        assert sorted(m for b in batches for m in b.members) \
+            == [r.index for r in reqs]
+
+    @given(gaps=gaps_st, batch_max=batch_max_st, max_wait_s=wait_st,
+           base_s=base_st, per_req_s=per_req_st)
+    def test_fifo_order(self, gaps, batch_max, max_wait_s, base_s,
+                        per_req_s):
+        # arrival order in == service order out: concatenating batch
+        # members recovers 0..n-1 exactly (single priority class)
+        _, _, batches = _run(gaps, batch_max, max_wait_s, base_s, per_req_s)
+        flat = [m for b in batches for m in b.members]
+        assert flat == list(range(len(flat)))
+
+    @given(gaps=gaps_st, batch_max=batch_max_st, max_wait_s=wait_st,
+           base_s=base_st, per_req_s=per_req_st)
+    def test_size_bounds(self, gaps, batch_max, max_wait_s, base_s,
+                         per_req_s):
+        _, _, batches = _run(gaps, batch_max, max_wait_s, base_s, per_req_s)
+        assert all(1 <= b.size <= batch_max for b in batches)
+
+    @given(gaps=gaps_st, batch_max=batch_max_st, max_wait_s=wait_st,
+           base_s=base_st, per_req_s=per_req_st)
+    def test_max_wait_deadline(self, gaps, batch_max, max_wait_s, base_s,
+                               per_req_s):
+        # the batcher never *holds* a request past max_wait: each batch is
+        # dispatched no later than its head's arrival + max_wait (service
+        # may still start later if the server is busy — that's queueing
+        # delay, not batcher hold time)
+        reqs, _, batches = _run(gaps, batch_max, max_wait_s, base_s,
+                                per_req_s)
+        by_index = {r.index: r for r in reqs}
+        for b in batches:
+            head = by_index[b.members[0]]
+            assert b.dispatch_s <= head.arrival_s + max_wait_s + 1e-12
+            # no member is served before it arrives
+            assert all(by_index[m].arrival_s <= b.start_s + 1e-12
+                       for m in b.members)
+
+    @given(gaps=gaps_st, batch_max=batch_max_st, max_wait_s=wait_st,
+           base_s=base_st, per_req_s=per_req_st)
+    def test_batches_never_overlap(self, gaps, batch_max, max_wait_s,
+                                   base_s, per_req_s):
+        _, _, batches = _run(gaps, batch_max, max_wait_s, base_s, per_req_s)
+        for prev, cur in zip(batches, batches[1:]):
+            assert cur.start_s >= prev.complete_s - 1e-12
+            assert cur.start_s >= cur.dispatch_s - 1e-12
+
+    @given(gaps=gaps_st, batch_max=batch_max_st, max_wait_s=wait_st,
+           base_s=base_st, per_req_s=per_req_st)
+    def test_latency_decomposition(self, gaps, batch_max, max_wait_s,
+                                   base_s, per_req_s):
+        _, served, _ = _run(gaps, batch_max, max_wait_s, base_s, per_req_s)
+        for s in served:
+            assert s.wait_s >= -1e-12
+            assert s.compute_s > 0
+            assert s.latency_s == pytest.approx(s.wait_s + s.compute_s)
+
+
+class TestQuantiles:
+    @given(values=st.lists(
+        st.floats(min_value=0.0, max_value=10.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=200))
+    def test_quantile_ordering(self, values):
+        q = _quantiles_us(values)
+        assert q["p50"] <= q["p95"] <= q["p99"] <= q["max"]
+        assert q["max"] == pytest.approx(max(values) * 1e6)
+        assert not any(math.isnan(v) for v in q.values())

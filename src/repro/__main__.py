@@ -24,6 +24,11 @@ Usage::
     python -m repro serve psage-mvl --qps 100     # serving-latency report
     python -m repro serve dgcn --arrival bursty --batch-max 16 -o serve.json
     python -m repro golden --serve         # diff serving reports vs snapshots
+    python -m repro sample arga            # mini-batch sampled-training report
+    python -m repro sample arga --nodes 1000000 --strict   # 10^6-node graph
+    python -m repro sample psage-mvl --fanouts 10,5 --prefetch-depth 4
+    python -m repro sample                 # prefetch-vs-sync BENCH_sample.json
+    python -m repro golden --sample        # diff sampling reports vs snapshots
 
 Suite-level commands accept ``--jobs N`` (characterize independent
 workloads on N worker processes) and ``--no-cache`` (recompute instead of
@@ -196,11 +201,14 @@ def _print_memstats(args, cache) -> int:
 
 def _run_golden(workload: str | None, update: bool, jobs: int | None,
                 cache, traces: bool = False, memory: bool = False,
-                fused: bool = False, serve: bool = False) -> int:
+                fused: bool = False, serve: bool = False,
+                sample: bool = False) -> int:
     from .core import registry
     from .testing import golden
 
-    if serve:
+    if sample:
+        keys = [workload] if workload else list(golden.SAMPLE_GOLDEN_KEYS)
+    elif serve:
         keys = [workload] if workload else list(golden.SERVE_GOLDEN_KEYS)
     else:
         keys = [workload] if workload else list(registry.WORKLOAD_KEYS)
@@ -208,7 +216,10 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
     if unknown:
         print(f"unknown workload(s) {unknown}; have {sorted(registry.WORKLOAD_KEYS)}")
         return 2
-    if serve:
+    if sample:
+        update_fn = golden.update_sample_goldens
+        verify_fn = golden.verify_sample_goldens
+    elif serve:
         update_fn = golden.update_serve_goldens
         verify_fn = golden.verify_serve_goldens
     elif fused:
@@ -227,7 +238,8 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
         for path in update_fn(keys, jobs=jobs, cache=cache):
             print(f"wrote {path}")
         return 0
-    flag = (" --serve" if serve
+    flag = (" --sample" if sample
+            else " --serve" if serve
             else " --fused" if fused
             else " --memory" if memory
             else " --traces" if traces else "")
@@ -306,6 +318,112 @@ def _run_serve(args) -> int:
         timeline.write(args.output)
         print(f"wrote {args.output}  (load in https://ui.perfetto.dev or "
               f"chrome://tracing)")
+    if args.metrics or args.metrics_output:
+        _dump_metrics(args.metrics_output)
+    return 0
+
+
+def _print_sample_report(report: dict) -> None:
+    fanouts = "x".join(str(f) for f in report["fanouts"])
+    print(f"== {report['workload']} (scale={report['scale']},"
+          f" fanouts={fanouts}, batch={report['batch_size']},"
+          f" prefetch_depth={report['prefetch_depth']},"
+          f" epochs={report['epochs']})")
+    print(f"   graph         {report['graph_nodes']} nodes,"
+          f" {report['graph_edges']} edges,"
+          f" {report['train_seeds']} train seeds")
+    print(f"   sampler       {report['batches']} batches"
+          f" ({report['batches_per_epoch']}/epoch),"
+          f" {report['edges_sampled']} edges drawn,"
+          f" {report['sample_cost_s'] * 1e3:.2f} ms host sampling")
+    print(f"   loader stall  {report['loader_stall_s'] * 1e3:.2f} ms"
+          f" ({report['loader_stall_fraction'] * 100:.1f}% of"
+          f" {report['sim_wall_s'] * 1e3:.2f} ms simulated wall)")
+    print(f"   queue         occupancy mean"
+          f" {report['queue_occupancy_mean']:.2f},"
+          f" max {report['queue_occupancy_max']}")
+    print(f"   throughput    {report['epochs_per_sim_s']:.2f} epochs per"
+          f" simulated second ({report['kernels']} kernels,"
+          f" {report['h2d_bytes'] / 1e6:.2f} MB H2D)")
+    print(f"   HBM           peak live {report['peak_live_bytes'] / 1e6:.2f}"
+          f" MB, peak reserved {report['peak_reserved_bytes'] / 1e6:.2f} MB"
+          f" ({report['hbm_utilization'] * 100:.3f}% of capacity)")
+    if report["oom_events"]:
+        print(f"   OOM           {report['oom_events']} capacity"
+              f" violation(s)")
+    print(f"   sample digest {report['sample_digest'][:16]}")
+
+
+def _run_sample_cmd(args, cache) -> int:
+    from .profiling import trace as trace_mod
+    from .train.loader import sample_run
+
+    fanouts = tuple(int(f) for f in args.fanouts.split(","))
+    epochs = args.epochs if args.epochs > 1 else 2
+    if not args.workload:
+        return _run_bench_sample(args, fanouts, epochs, cache)
+    key = _resolve_workload(args.workload)
+    try:
+        report, timeline = sample_run(
+            key, scale=args.scale or "test", fanouts=fanouts,
+            batch_size=args.batch_size, prefetch_depth=args.prefetch_depth,
+            epochs=epochs, nodes=args.nodes, seed=args.seed,
+            strict=args.strict, traced=args.output is not None)
+    except ValueError as exc:  # contradictory knobs / unsampleable workload
+        print(exc)
+        return 2
+    _print_sample_report(report)
+    if timeline is not None:
+        trace_mod.validate_chrome(timeline.to_chrome())
+        timeline.write(args.output)
+        print(f"wrote {args.output}  (load in https://ui.perfetto.dev or "
+              f"chrome://tracing)")
+    if args.metrics or args.metrics_output:
+        _dump_metrics(args.metrics_output)
+    return 0
+
+
+def _run_bench_sample(args, fanouts: tuple, epochs: int, cache) -> int:
+    # suite mode: the prefetch-vs-synchronous comparison (BENCH_sample.json),
+    # gated against a committed baseline like the launch hot-path bench —
+    # except these are simulated-clock numbers, so the gate can be strict
+    report = executor.benchmark_sample(scale=args.scale or "test",
+                                       fanouts=fanouts,
+                                       batch_size=args.batch_size,
+                                       prefetch_depth=args.prefetch_depth,
+                                       epochs=epochs, seed=args.seed,
+                                       jobs=args.jobs, cache=cache)
+    print(f"mini-batch loader: prefetch_depth={report['prefetch_depth']} vs"
+          f" synchronous ({report['epochs']} epoch(s),"
+          f" scale={report['scale']},"
+          f" fanouts={'x'.join(str(f) for f in report['fanouts'])},"
+          f" batch={report['batch_size']}):")
+    print(f"  {'workload':<12}{'sync ep/s':>12}{'prefetch ep/s':>15}"
+          f"{'speedup':>9}{'stall sync':>12}{'stall pre':>11}")
+    for key, row in report["workloads"].items():
+        print(f"  {key:<12}{row['sync_epochs_per_s']:>12.2f}"
+              f"{row['prefetch_epochs_per_s']:>15.2f}"
+              f"{row['speedup']:>8.2f}x"
+              f"{row['sync_stall_s'] * 1e3:>10.2f}ms"
+              f"{row['prefetch_stall_s'] * 1e3:>9.2f}ms")
+    print(f"  {'suite':<12}{'':>12}{'':>15}{report['speedup']:>8.2f}x")
+    out = args.output or "BENCH_sample.json"
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = executor.check_sample_regression(report, baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            return 1
+        print(f"baseline check ok (committed speedup"
+              f" {baseline.get('speedup', 0.0):.3f}x,"
+              f" measured {report['speedup']:.3f}x)")
     if args.metrics or args.metrics_output:
         _dump_metrics(args.metrics_output)
     return 0
@@ -428,13 +546,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("command",
                         choices=["table1", *FIGURES, "fig9", "all",
                                  "profile", "memory", "memstats", "golden",
-                                 "bench", "trace", "serve"],
+                                 "bench", "trace", "serve", "sample"],
                         help="which artifact to regenerate")
     parser.add_argument("workload", nargs="?",
                         help="workload key (for 'profile', 'memstats', "
-                             "'golden', 'trace' and 'serve'; "
-                             "case-insensitive for 'trace', 'memstats' "
-                             "and 'serve')")
+                             "'golden', 'trace', 'serve' and 'sample'; "
+                             "case-insensitive for 'trace', 'memstats', "
+                             "'serve' and 'sample')")
     parser.add_argument("--epochs", type=int, default=1)
     parser.add_argument("--scale", default=None,
                         choices=["test", "profile", "scaling"],
@@ -465,6 +583,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="'golden': operate on serving snapshots "
                              "(tests/golden/serve_*.json) — repro.serve "
                              "latency reports")
+    parser.add_argument("--sample", action="store_true",
+                        help="'golden': operate on sampled-training "
+                             "snapshots (tests/golden/sample_*.json) — "
+                             "mini-batch loader reports")
+    parser.add_argument("--fanouts", default="10,5",
+                        help="'sample': comma-separated per-layer neighbor "
+                             "fanouts, outermost first (default 10,5)")
+    parser.add_argument("--batch-size", type=int, default=64,
+                        help="'sample': seeds per mini-batch")
+    parser.add_argument("--prefetch-depth", type=int, default=2,
+                        help="'sample': bounded prefetch queue depth "
+                             "(0 = synchronous sampling)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="'sample': synthesize a citation graph of this "
+                             "many nodes instead of the registry dataset "
+                             "(ARGA only)")
     parser.add_argument("--qps", type=float, default=100.0,
                         help="'serve': mean request arrival rate "
                              "(requests per simulated second)")
@@ -516,20 +650,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", default=None,
                         help="'bench': committed hot-path baseline JSON; "
                              "exit 1 if warm steady-state throughput "
-                             "regresses >25%% against it")
+                             "regresses >25%% against it. 'sample' (suite "
+                             "mode): committed BENCH_sample baseline; exit 1 "
+                             "unless prefetch strictly beats synchronous")
     args = parser.parse_args(argv)
     cache = False if args.no_cache else True
 
     if args.command == "golden":
         return _run_golden(args.workload, args.update, args.jobs, cache,
                            traces=args.traces, memory=args.memory,
-                           fused=args.fused, serve=args.serve)
+                           fused=args.fused, serve=args.serve,
+                           sample=args.sample)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "sample":
+        return _run_sample_cmd(args, cache)
     if args.command == "memstats":
         return _print_memstats(args, cache)
 

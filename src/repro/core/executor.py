@@ -97,6 +97,12 @@ def _run_serve(params: dict):
     return server.serve_report(**params)
 
 
+def _run_sample(params: dict):
+    from ..train import loader
+
+    return loader.sample_report(**params)
+
+
 _TASK_RUNNERS = {
     "profile": _run_profile,
     "fingerprint": _run_fingerprint,
@@ -106,6 +112,7 @@ _TASK_RUNNERS = {
     "capture_fingerprint": _run_capture_fingerprint,
     "fused_fingerprint": _run_fused_fingerprint,
     "serve": _run_serve,
+    "sample": _run_sample,
 }
 
 
@@ -342,6 +349,31 @@ def serve_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
     return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))
 
 
+def sample_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
+                 fanouts=(10, 5), batch_size: int = 64,
+                 prefetch_depth: int = 2, epochs: int = 2,
+                 nodes=None, seed: int = 0,
+                 jobs: Optional[int] = None, cache=None) -> dict:
+    """Sampled-training reports for ``keys`` (default: goldened workloads).
+
+    Each report is a pure function of its own parameters — seeded neighbor
+    draws, the closed-form sampler cost model, simulated-clock overlap — so
+    sample digests are byte-identical across ``--jobs``, cache settings and
+    repeat runs (``tests/test_sample_golden.py`` pins the matrix).
+    """
+    if keys is None:
+        from ..train.loader import SAMPLE_DEFAULT_KEYS
+
+        keys = list(SAMPLE_DEFAULT_KEYS)
+    tasks: list[Task] = [
+        ("sample", dict(key=k, scale=scale, fanouts=tuple(fanouts),
+                        batch_size=batch_size, prefetch_depth=prefetch_depth,
+                        epochs=epochs, nodes=nodes, seed=seed))
+        for k in keys
+    ]
+    return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))
+
+
 def run_scaling_points(points: Sequence[tuple[str, int]],
                        scale: str = "scaling", epochs: int = 1, seed: int = 0,
                        jobs: Optional[int] = None, cache=None) -> list:
@@ -530,5 +562,101 @@ def check_hotpath_regression(report: dict, baseline: dict,
             f"suite warm/cold speedup {got:.2f}x fell below "
             f"{floor:.2f}x ({(1 - tolerance) * 100:.0f}% of the committed "
             f"baseline {base:.2f}x)"
+        )
+    return failures
+
+
+def benchmark_sample(keys: Optional[Sequence[str]] = None,
+                     scale: str = "test", fanouts=(10, 5),
+                     batch_size: int = 64, prefetch_depth: int = 2,
+                     epochs: int = 2, seed: int = 0,
+                     jobs: Optional[int] = None, cache=None) -> dict:
+    """Prefetch-vs-synchronous loader comparison (``BENCH_sample.json``).
+
+    Runs every workload twice on the simulated clock — ``prefetch_depth=0``
+    (the sampler blocks the device every batch) and ``prefetch_depth``
+    (sampling overlaps compute behind a bounded queue) — and reports
+    simulated epochs/sec for both.  Unlike the hot-path benchmark this
+    measures *simulated* time, so the numbers are machine-independent and
+    byte-deterministic; the CI gate can demand strict improvement.
+    """
+    from ..train.loader import SAMPLE_DEFAULT_KEYS
+
+    if keys is None:
+        keys = list(SAMPLE_DEFAULT_KEYS)
+    fanouts = tuple(int(f) for f in fanouts)
+    depths = (0, int(prefetch_depth))
+    tasks: list[Task] = [
+        ("sample", dict(key=k, scale=scale, fanouts=fanouts,
+                        batch_size=batch_size, prefetch_depth=d,
+                        epochs=epochs, nodes=None, seed=seed))
+        for k in keys for d in depths
+    ]
+    results = run_tasks(tasks, jobs=jobs, cache=cache)
+    reports = {(k, d): r for (k, d), r
+               in zip([(k, d) for k in keys for d in depths], results)}
+    workloads: dict[str, dict] = {}
+    sync_wall = prefetch_wall = 0.0
+    for key in keys:
+        sync, pre = reports[(key, 0)], reports[(key, depths[1])]
+        sync_wall += sync["sim_wall_s"]
+        prefetch_wall += pre["sim_wall_s"]
+        workloads[key] = {
+            "sync_epochs_per_s": sync["epochs_per_sim_s"],
+            "prefetch_epochs_per_s": pre["epochs_per_sim_s"],
+            "speedup": (pre["epochs_per_sim_s"] / sync["epochs_per_sim_s"]
+                        if sync["epochs_per_sim_s"] else 0.0),
+            "sync_stall_s": sync["loader_stall_s"],
+            "prefetch_stall_s": pre["loader_stall_s"],
+            "sync_stall_fraction": sync["loader_stall_fraction"],
+            "prefetch_stall_fraction": pre["loader_stall_fraction"],
+            "queue_occupancy_mean": pre["queue_occupancy_mean"],
+            "queue_occupancy_max": pre["queue_occupancy_max"],
+            "sample_digest": pre["sample_digest"],
+        }
+    return {
+        "suite": list(keys),
+        "scale": scale,
+        "fanouts": list(fanouts),
+        "batch_size": int(batch_size),
+        "prefetch_depth": int(depths[1]),
+        "epochs": int(epochs),
+        "seed": int(seed),
+        "workloads": workloads,
+        "sync_wall_s": sync_wall,
+        "prefetch_wall_s": prefetch_wall,
+        "speedup": sync_wall / prefetch_wall if prefetch_wall else 0.0,
+    }
+
+
+def check_sample_regression(report: dict, baseline: dict,
+                            tolerance: float = 0.05) -> list[str]:
+    """Gate the prefetch pipeline against its committed baseline.
+
+    All quantities are simulated-clock, hence deterministic: every workload
+    must show prefetch strictly beating the synchronous loader on epochs/sec
+    with less stall time, and the suite-level speedup must stay within
+    ``tolerance`` of the committed baseline's.
+    """
+    failures: list[str] = []
+    for key, w in report.get("workloads", {}).items():
+        if w["prefetch_epochs_per_s"] <= w["sync_epochs_per_s"]:
+            failures.append(
+                f"{key}: prefetch {w['prefetch_epochs_per_s']:.2f} ep/s does "
+                f"not beat synchronous {w['sync_epochs_per_s']:.2f} ep/s"
+            )
+        if w["prefetch_stall_s"] >= w["sync_stall_s"]:
+            failures.append(
+                f"{key}: prefetch stall {w['prefetch_stall_s']:.6f}s did not "
+                f"shrink vs synchronous {w['sync_stall_s']:.6f}s"
+            )
+    base = float(baseline.get("speedup", 0.0))
+    got = float(report.get("speedup", 0.0))
+    floor = base * (1.0 - tolerance)
+    if got < floor:
+        failures.append(
+            f"suite prefetch speedup {got:.3f}x fell below {floor:.3f}x "
+            f"({(1 - tolerance) * 100:.0f}% of the committed baseline "
+            f"{base:.3f}x)"
         )
     return failures

@@ -49,20 +49,39 @@ def uniform_neighbor_block(
     rng: np.random.Generator,
     device=None,
 ) -> SampledBlock:
-    """Sample up to ``fanout`` in-neighbors per seed (without replacement)."""
+    """Sample up to ``fanout`` in-neighbors per seed (without replacement).
+
+    Fully vectorized: one random key per candidate edge, a segment-stable
+    argsort, and indptr arithmetic pick the ``min(degree, fanout)`` smallest
+    keys per seed — a batched permutation draw with no per-seed Python loop.
+    Isolated seeds (degree 0) contribute no edges but keep their dst slot:
+    ``dst_nodes`` is always exactly ``seeds`` and ``src_nodes`` always starts
+    with every seed, so downstream gather/scatter alignment survives.
+    """
     seeds = np.asarray(seeds, dtype=np.int64)
     csr = graph.csr()
-    edge_src, edge_dst = [], []
-    for local, node in enumerate(seeds):
-        nbrs = csr.indices[csr.indptr[node] : csr.indptr[node + 1]]
-        if nbrs.size == 0:
-            continue
-        if nbrs.size > fanout:
-            nbrs = rng.choice(nbrs, size=fanout, replace=False)
-        edge_src.append(nbrs)
-        edge_dst.append(np.full(nbrs.size, local, dtype=np.int64))
-    picked = np.concatenate(edge_src) if edge_src else np.empty(0, np.int64)
-    dst_local = np.concatenate(edge_dst) if edge_dst else np.empty(0, np.int64)
+    indptr = csr.indptr.astype(np.int64)
+    starts = indptr[seeds]
+    deg = indptr[seeds + 1] - starts
+    take = np.minimum(deg, int(fanout))
+    total = int(deg.sum())
+    if total:
+        # segment id per candidate edge; segments are contiguous and sorted
+        seg = np.repeat(np.arange(seeds.size, dtype=np.int64), deg)
+        seg_starts = np.concatenate(([0], np.cumsum(deg)[:-1]))
+        # without-replacement pick per segment: keep the take[s] smallest
+        # uniform keys — equivalent to a per-seed permutation prefix
+        keys = rng.random(total)
+        order = np.lexsort((keys, seg))
+        rank = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, deg)
+        sel = order[rank < np.repeat(take, deg)]
+        # candidate -> position in the CSR indices array
+        picked = csr.indices[np.repeat(starts - seg_starts, deg)[sel] + sel]
+        picked = picked.astype(np.int64)
+        dst_local = seg[sel]
+    else:
+        picked = np.empty(0, np.int64)
+        dst_local = np.empty(0, np.int64)
 
     # Device-side id compaction: sort + unique + relabel.
     uniq, inverse = sort_ops.unique(

@@ -413,6 +413,43 @@ def collect_serve(report: dict,
           size=size, **labels).set(count)
 
 
+def collect_loader(report: dict,
+                   registry: Optional[MetricsRegistry] = None) -> None:
+    """Absorb one sampled-training report (:func:`repro.train.loader`).
+
+    Every series carries ``workload`` / ``prefetch_depth`` labels so a
+    prefetch sweep (the BENCH_sample comparison) lands as distinct label
+    sets in one registry.
+    """
+    reg = registry if registry is not None else REGISTRY
+    labels = {"workload": report["workload"],
+              "prefetch_depth": str(report["prefetch_depth"])}
+    g = reg.gauge
+    g("repro_loader_batches_total", "Mini-batches produced by the sampler",
+      **labels).set(report["batches"])
+    g("repro_loader_edges_sampled_total", "Edges drawn across all blocks",
+      **labels).set(report["edges_sampled"])
+    g("repro_loader_sample_cost_seconds", "Simulated host sampling time",
+      **labels).set(report["sample_cost_s"])
+    g("repro_loader_stall_seconds",
+      "Device time spent waiting on the sampler",
+      **labels).set(report["loader_stall_s"])
+    g("repro_loader_stall_fraction",
+      "loader_stall_s over the simulated training wall clock",
+      **labels).set(report["loader_stall_fraction"])
+    g("repro_loader_queue_occupancy_mean",
+      "Time-averaged ready-batches in the prefetch queue",
+      **labels).set(report["queue_occupancy_mean"])
+    g("repro_loader_queue_occupancy_max",
+      "Peak ready-batches in the prefetch queue",
+      **labels).set(report["queue_occupancy_max"])
+    g("repro_loader_epochs_per_sim_second",
+      "Sampled-training throughput (simulated)",
+      **labels).set(report["epochs_per_sim_s"])
+    g("repro_loader_peak_live_bytes", "Peak live HBM during sampled training",
+      **labels).set(report["peak_live_bytes"])
+
+
 def observe_task(kind: str, seconds: float, cached: bool,
                  registry: Optional[MetricsRegistry] = None) -> None:
     """Record one executor task completion (wall latency + cache outcome)."""

@@ -32,6 +32,9 @@ tid            contents
                capture-vs-replay mode
 ``queue``      one span per serving request's queue wait, from arrival
                to its batch's start
+``loader``     one span per sampled mini-batch (repro.train.loader),
+               from sampler start to batch-ready, annotated with seed
+               count, sampled edges and device stall
 =============  =========================================================
 
 Determinism rules
@@ -89,13 +92,18 @@ CAT_COUNTER = "counter"
 #: ``serve`` stream, one per request's queue wait on the ``queue`` stream
 CAT_SERVE = "serve"
 CAT_QUEUE = "queue"
+#: mini-batch sampler spans (repro.train.loader): one per sampled batch on
+#: the ``loader`` stream, from sample start to batch-ready.  Deliberately
+#: NOT a device category — sampling runs on the host and overlaps compute.
+CAT_LOADER = "loader"
 
 #: categories that occupy the device (busy/idle accounting)
 DEVICE_CATS = (CAT_KERNEL, CAT_TRANSFER, CAT_ALLREDUCE)
 
 #: canonical stream display order inside one pid
 _TID_RANK = {"epoch": 0, "phase": 1, "kernels": 2, "h2d": 3, "d2h": 4,
-             "allreduce": 5, "memory": 6, "serve": 7, "queue": 8}
+             "allreduce": 5, "memory": 6, "serve": 7, "queue": 8,
+             "loader": 9}
 
 
 def _tid_rank(tid: str) -> int:

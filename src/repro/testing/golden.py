@@ -891,6 +891,134 @@ def update_serve_goldens(keys: Optional[list[str]] = None,
     return [save_serve_golden(reports[key]) for key in keys]
 
 
+# -- sampled-training goldens -------------------------------------------------
+# Mini-batch loader snapshots (repro.train.loader): batch/edge counts, the
+# sampler cost model's totals, loader-stall accounting and HBM peaks.  Every
+# field is analytic (seeded neighbor draws + simulated-clock arithmetic), so
+# snapshots compare EXACTLY across repeat runs, --jobs counts and
+# analysis-cache on/off (tests/test_sample_golden.py).
+
+#: default snapshot set for ``python -m repro golden --sample``: the
+#: citation + PinSAGE flagships the mini-batch pipeline targets
+SAMPLE_GOLDEN_KEYS = ("ARGA", "PSAGE-MVL")
+
+#: the parameters a sample snapshot records (and verification replays under)
+_SAMPLE_PARAM_FIELDS = ("scale", "fanouts", "batch_size", "prefetch_depth",
+                        "epochs", "nodes", "seed")
+
+
+def sample_golden_path(key: str) -> Path:
+    return golden_dir() / f"sample_{key}.json"
+
+
+def load_sample_golden(key: str) -> dict:
+    path = sample_golden_path(key)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no golden sampled-training snapshot for {key!r} at {path}; "
+            f"generate it with `python -m repro golden --sample --update`"
+        )
+    return json.loads(path.read_text())
+
+
+def save_sample_golden(report: dict) -> Path:
+    path = sample_golden_path(report["workload"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_sample_reports(expected: dict, actual: dict) -> list[str]:
+    """Human-readable diffs (empty when reports match byte-for-byte).
+
+    Everything compares exactly: batch composition is seeded RNG, sampler
+    costs are closed-form in the block shapes, and stall times are
+    simulated-clock arithmetic — there is no nondeterminism to forgive.
+    The digest-drift line comes last, as in every other golden family.
+    """
+    diffs: list[str] = []
+    nested = {"stall_breakdown"}
+    scalar_fields = sorted(
+        (set(expected) | set(actual)) - nested - {"sample_digest"}
+    )
+    for field in scalar_fields:
+        if expected.get(field) != actual.get(field):
+            diffs.append(f"{field}: expected {expected.get(field)!r}, "
+                         f"got {actual.get(field)!r}")
+    for block in sorted(nested):
+        exp, act = expected.get(block, {}), actual.get(block, {})
+        for name in sorted(set(exp) | set(act)):
+            if exp.get(name) != act.get(name):
+                diffs.append(f"{block}[{name}]: expected {exp.get(name)!r}, "
+                             f"got {act.get(name)!r}")
+    if expected.get("sample_digest") != actual.get("sample_digest"):
+        diffs.append(
+            f"sample_digest: expected {expected.get('sample_digest')}, "
+            f"got {actual.get('sample_digest')} — the canonical sampled-"
+            f"training report changed even though the summary stats above "
+            f"{'also differ' if diffs else 'still match'}"
+        )
+    return diffs
+
+
+def verify_sample_goldens(keys: Optional[list[str]] = None,
+                          jobs: Optional[int] = None,
+                          cache=None) -> dict[str, list[str]]:
+    """Diff fresh sampled-training reports against committed snapshots.
+
+    Mirrors :func:`verify_serve_goldens`: reports regenerate under each
+    snapshot's own recorded parameters, missing snapshots surface as
+    one-line diffs, and generation fans out through the execution engine.
+    """
+    from ..core import executor
+
+    keys = list(keys or SAMPLE_GOLDEN_KEYS)
+    expected: dict[str, dict] = {}
+    diffs: dict[str, list[str]] = {}
+    for key in keys:
+        try:
+            expected[key] = load_sample_golden(key)
+        except FileNotFoundError as exc:
+            diffs[key] = [f"missing snapshot: {exc}"]
+
+    present = [k for k in keys if k in expected]
+    by_params: dict[tuple, list[str]] = {}
+    for key in present:
+        exp = expected[key]
+        params = tuple(
+            tuple(exp.get(f)) if f == "fanouts" else exp.get(f)
+            for f in _SAMPLE_PARAM_FIELDS
+        )
+        by_params.setdefault(params, []).append(key)
+    actual: dict[str, dict] = {}
+    for params, group in by_params.items():
+        actual.update(executor.sample_suite(
+            group, jobs=jobs, cache=cache,
+            **dict(zip(_SAMPLE_PARAM_FIELDS, params)),
+        ))
+    for key in present:
+        diffs[key] = compare_sample_reports(expected[key], actual[key])
+    return {key: diffs[key] for key in keys}
+
+
+def update_sample_goldens(keys: Optional[list[str]] = None,
+                          scale: str = "test", fanouts=(10, 5),
+                          batch_size: int = 64, prefetch_depth: int = 2,
+                          epochs: int = 2, nodes=None, seed: int = 0,
+                          jobs: Optional[int] = None,
+                          cache=None) -> list[Path]:
+    """Regenerate sampled-training snapshots (default: the flagships)."""
+    from ..core import executor
+
+    keys = list(keys or SAMPLE_GOLDEN_KEYS)
+    reports = executor.sample_suite(keys, scale=scale, fanouts=fanouts,
+                                    batch_size=batch_size,
+                                    prefetch_depth=prefetch_depth,
+                                    epochs=epochs, nodes=nodes, seed=seed,
+                                    jobs=jobs, cache=cache)
+    return [save_sample_golden(reports[key]) for key in keys]
+
+
 def verify_memory_goldens(keys: Optional[list[str]] = None,
                           jobs: Optional[int] = None,
                           cache=None) -> dict[str, list[str]]:

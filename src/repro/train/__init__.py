@@ -1,4 +1,4 @@
-"""Training drivers: single-device trainer, DDP strong/weak scaling."""
+"""Training drivers: single-device trainer, DDP scaling, mini-batch loader."""
 
 from .ddp import (
     ScalingPoint,
@@ -8,10 +8,21 @@ from .ddp import (
     run_weak_scaling_study,
     trace_scaling_point,
 )
+from .loader import (
+    SAMPLEABLE,
+    NeighborLoader,
+    PrefetchPipeline,
+    sample_report,
+    sample_run,
+    sampler_cost_s,
+)
 from .trainer import EpochResult, TimeToTrain, Trainer
 
 __all__ = [
     "EpochResult",
+    "NeighborLoader",
+    "PrefetchPipeline",
+    "SAMPLEABLE",
     "ScalingPoint",
     "TimeToTrain",
     "Trainer",
@@ -19,5 +30,8 @@ __all__ = [
     "run_scaling_study",
     "run_weak_scaling_point",
     "run_weak_scaling_study",
+    "sample_report",
+    "sample_run",
+    "sampler_cost_s",
     "trace_scaling_point",
 ]

@@ -54,6 +54,9 @@ class Trainer:
     capture_replay: bool = False
     fuse: bool = False
     steady: bool = False
+    #: a PrefetchPipeline for mini-batch sampled training; each epoch calls
+    #: ``loader.run_epoch(epoch, seed)`` instead of ``workload.train_epoch``
+    loader: object = None
     history: list[EpochResult] = field(default_factory=list)
     _controller: object = field(default=None, init=False, repr=False)
 
@@ -62,6 +65,13 @@ class Trainer:
         memtracker = gpu_memory.active()
         if memtracker is not None and memtracker.device is not self.device:
             memtracker = None
+        if self.loader is not None and (
+            self.capture_replay or self.fuse or self.steady
+        ):
+            raise ValueError(
+                "mini-batch loader mode is incompatible with capture/replay: "
+                "sampled batches change the launch sequence every step"
+            )
         controller = None
         rng = None
         if self.capture_replay or self.fuse or self.steady:
@@ -81,7 +91,9 @@ class Trainer:
         for epoch in range(epochs):
             t0 = self.device.elapsed_s()
             k0 = self.device.stats.kernel_count
-            if controller is not None:
+            if self.loader is not None:
+                metrics = self.loader.run_epoch(len(self.history), seed=seed)
+            elif controller is not None:
                 metrics = controller.step(memtracker=memtracker)
             else:
                 metrics = self.workload.train_epoch(rng)

@@ -102,6 +102,39 @@ class TestNeighborSampling:
                                device=gpu)
         assert OpClass.SORT in ops
 
+    def test_isolated_seeds_keep_dst_slots(self, rng):
+        # regression: zero-degree seeds contribute no edges but must keep
+        # their dst position so gather/scatter alignment survives — the
+        # per-seed loop skipped them silently, the vectorized path must not
+        g = Graph(np.array([1, 2, 2]), np.array([0, 0, 1]), num_nodes=6)
+        seeds = np.array([3, 0, 5, 1])  # 3 and 5 are isolated
+        block = uniform_neighbor_block(g, seeds, fanout=2, rng=rng)
+        np.testing.assert_array_equal(block.dst_nodes, seeds)
+        np.testing.assert_array_equal(block.src_nodes[: seeds.size], seeds)
+        # only the connected seeds (local slots 1 and 3) receive edges
+        assert set(block.edge_dst.tolist()) <= {1, 3}
+        counts = np.bincount(block.edge_dst, minlength=seeds.size)
+        assert counts[0] == 0 and counts[2] == 0
+        assert counts[1] == 2 and counts[3] == 1  # deg(0)=2, deg(1)=1
+
+    def test_all_isolated_seeds_yield_empty_edges(self, rng):
+        g = Graph(np.array([1]), np.array([0]), num_nodes=8)
+        seeds = np.array([4, 6, 7])
+        block = uniform_neighbor_block(g, seeds, fanout=3, rng=rng)
+        assert block.edge_src.size == 0 and block.edge_dst.size == 0
+        np.testing.assert_array_equal(block.dst_nodes, seeds)
+        np.testing.assert_array_equal(block.src_nodes[: seeds.size], seeds)
+
+    def test_without_replacement_no_duplicate_edges(self, rng):
+        g = self._graph()
+        seeds = np.arange(20)
+        block = uniform_neighbor_block(g, seeds, fanout=6, rng=rng)
+        pairs = set()
+        for s_local, d_local in zip(block.edge_src.tolist(),
+                                    block.edge_dst.tolist()):
+            assert (s_local, d_local) not in pairs
+            pairs.add((s_local, d_local))
+
 
 class TestRandomWalks:
     def test_shape_and_start(self, rng):

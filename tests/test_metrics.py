@@ -133,6 +133,24 @@ class TestCollectors:
         assert snap["repro_profile_cache_hits_total"]["series"][""] == 3.0
         assert snap["repro_profile_cache_stores_total"]["series"][""] == 2.0
 
+    def test_collect_loader_labels_by_depth(self, reg):
+        report = {"workload": "ARGA", "prefetch_depth": 2, "batches": 60,
+                  "edges_sampled": 1000, "sample_cost_s": 0.05,
+                  "loader_stall_s": 0.002, "loader_stall_fraction": 0.02,
+                  "queue_occupancy_mean": 1.3, "queue_occupancy_max": 2,
+                  "epochs_per_sim_s": 20.0, "peak_live_bytes": 4096}
+        metrics.collect_loader(report, registry=reg)
+        snap = reg.snapshot()
+        labels = '{prefetch_depth="2",workload="ARGA"}'
+        assert snap["repro_loader_batches_total"]["series"][labels] == 60.0
+        assert snap["repro_loader_stall_seconds"]["series"][labels] == 0.002
+        assert (snap["repro_loader_queue_occupancy_max"]["series"][labels]
+                == 2.0)
+        # a different depth lands as a distinct label set, not an overwrite
+        metrics.collect_loader({**report, "prefetch_depth": 0}, registry=reg)
+        series = reg.snapshot()["repro_loader_batches_total"]["series"]
+        assert len(series) == 2
+
     def test_observe_task(self, reg):
         metrics.observe_task("profile", 0.3, cached=False, registry=reg)
         metrics.observe_task("profile", 0.001, cached=True, registry=reg)

@@ -1,0 +1,130 @@
+"""CLI tests for ``python -m repro sample`` and ``golden --sample``.
+
+Error paths (unknown/unsampleable workload, contradictory knobs) must exit
+non-zero with a usable message; single-workload mode prints the loader
+report and digest; suite mode writes ``BENCH_sample.json`` and gates
+against a committed baseline; ``-o`` exports a Chrome trace whose
+``loader`` stream survives the round-trip.
+"""
+
+import json
+
+import pytest
+
+from repro.profiling import metrics, trace
+from tests.cli_helpers import run_cli
+
+
+class TestSampleCommand:
+    def test_happy_path_prints_report(self, capsys):
+        res = run_cli(["sample", "arga", "--fanouts", "4,3",
+                       "--batch-size", "32"], capsys)
+        assert res.code == 0
+        assert "ARGA" in res.out
+        assert "loader stall" in res.out
+        assert "queue" in res.out
+        assert "sample digest" in res.out
+        assert "epochs per" in res.out
+
+    def test_trace_export_keeps_loader_stream(self, capsys, tmp_path):
+        out_path = tmp_path / "sample.json"
+        res = run_cli(["sample", "arga", "--fanouts", "4,3",
+                       "--batch-size", "32", "-o", str(out_path)], capsys)
+        assert res.code == 0
+        data = json.loads(out_path.read_text())
+        trace.validate_chrome(data)
+        cats = {ev.get("cat") for ev in data["traceEvents"]}
+        assert "loader" in cats
+        # lossless round-trip: the loader spans come back on their stream
+        timeline = trace.Timeline.from_chrome(data)
+        spans = [s for s in timeline.spans if s.cat == trace.CAT_LOADER]
+        assert spans and all(s.tid == "loader" for s in spans)
+        trace.validate_chrome(timeline.to_chrome())
+        assert str(out_path) in res.out
+
+    def test_repeat_runs_print_same_digest(self, capsys):
+        argv = ["sample", "psage-mvl", "--fanouts", "4,3",
+                "--batch-size", "32"]
+        first = run_cli(argv, capsys)
+        second = run_cli(argv, capsys)
+        digest = [ln for ln in first.out.splitlines() if "digest" in ln]
+        assert digest and digest == \
+            [ln for ln in second.out.splitlines() if "digest" in ln]
+
+    def test_metrics_export_has_loader_gauges(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        metrics.registry().clear()
+        res = run_cli(["sample", "arga", "--fanouts", "4,3",
+                       "--batch-size", "32",
+                       "--metrics-output", str(out)], capsys)
+        assert res.code == 0
+        names = set(json.loads(out.read_text()))
+        assert "repro_loader_batches_total" in names
+        assert "repro_loader_stall_seconds" in names
+        assert "repro_loader_queue_occupancy_mean" in names
+        prom = out.with_suffix(".prom").read_text()
+        assert "repro_loader_stall_fraction" in prom
+
+    def test_unknown_workload_rejected(self, capsys):
+        res = run_cli(["sample", "nope"], capsys)
+        assert res.code != 0
+        assert "unknown workload" in res.err
+
+    def test_unsampleable_workload_rejected(self, capsys):
+        res = run_cli(["sample", "tlstm"], capsys)
+        assert res.code == 2
+        assert "no mini-batch sampling engine" in res.out + res.err
+
+    @pytest.mark.parametrize("argv,needle", [
+        (["sample", "arga", "--fanouts", "0,5"], "fanouts"),
+        (["sample", "arga", "--batch-size", "0"], "batch-size"),
+        (["sample", "arga", "--prefetch-depth", "-1"], "prefetch-depth"),
+        (["sample", "psage-mvl", "--nodes", "1000"], "--nodes"),
+    ])
+    def test_contradictory_flags_rejected(self, capsys, argv, needle):
+        res = run_cli(argv, capsys)
+        assert res.code == 2
+        assert needle in res.out + res.err
+
+
+class TestSampleSuiteMode:
+    def test_writes_bench_and_passes_committed_baseline(self, capsys,
+                                                        tmp_path):
+        out = tmp_path / "BENCH_sample.json"
+        res = run_cli(["sample", "-o", str(out),
+                       "--baseline", "benchmarks/sample_baseline.json"],
+                      capsys)
+        assert res.code == 0
+        assert "baseline check ok" in res.out
+        report = json.loads(out.read_text())
+        assert report["suite"] == ["ARGA", "PSAGE-MVL"]
+        for row in report["workloads"].values():
+            assert row["speedup"] > 1.0
+            assert row["prefetch_stall_s"] < row["sync_stall_s"]
+
+    def test_regression_exits_nonzero(self, capsys, tmp_path):
+        # a baseline demanding more speedup than measured must fail the gate
+        with open("benchmarks/sample_baseline.json") as fh:
+            baseline = json.load(fh)
+        baseline["speedup"] = baseline["speedup"] * 10
+        fake = tmp_path / "impossible.json"
+        fake.write_text(json.dumps(baseline))
+        out = tmp_path / "BENCH_sample.json"
+        res = run_cli(["sample", "-o", str(out), "--baseline", str(fake)],
+                      capsys)
+        assert res.code == 1
+        assert "REGRESSION" in res.out
+
+
+class TestGoldenSampleFlow:
+    def test_verify_against_committed_snapshots(self, capsys):
+        res = run_cli(["golden", "--sample"], capsys)
+        assert res.code == 0
+        assert "ARGA: ok" in res.out
+        assert "PSAGE-MVL: ok" in res.out
+
+    def test_single_key_verify(self, capsys):
+        res = run_cli(["golden", "ARGA", "--sample"], capsys)
+        assert res.code == 0
+        assert "ARGA: ok" in res.out
+        assert "PSAGE-MVL" not in res.out

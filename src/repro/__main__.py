@@ -29,6 +29,11 @@ Usage::
     python -m repro sample psage-mvl --fanouts 10,5 --prefetch-depth 4
     python -m repro sample                 # prefetch-vs-sync BENCH_sample.json
     python -m repro golden --sample        # diff sampling reports vs snapshots
+    python -m repro shard arga-p4          # partition-parallel training report
+    python -m repro shard arga --parts 4 --nodes 600000 --feat-dim 8192 --strict
+    python -m repro shard arga --parts 4 --offload     # out-of-core staging
+    python -m repro shard                  # capacity frontier BENCH_shard.json
+    python -m repro golden --shard         # diff sharded reports vs snapshots
 
 Suite-level commands accept ``--jobs N`` (characterize independent
 workloads on N worker processes) and ``--no-cache`` (recompute instead of
@@ -202,21 +207,34 @@ def _print_memstats(args, cache) -> int:
 def _run_golden(workload: str | None, update: bool, jobs: int | None,
                 cache, traces: bool = False, memory: bool = False,
                 fused: bool = False, serve: bool = False,
-                sample: bool = False) -> int:
+                sample: bool = False, shard: bool = False) -> int:
     from .core import registry
     from .testing import golden
 
-    if sample:
-        keys = [workload] if workload else list(golden.SAMPLE_GOLDEN_KEYS)
-    elif serve:
-        keys = [workload] if workload else list(golden.SERVE_GOLDEN_KEYS)
+    if shard:
+        # shard snapshots are keyed by config name (ARGA-P4), not workload
+        keys = [workload.upper()] if workload else list(golden.SHARD_GOLDEN_KEYS)
+        unknown = [k for k in keys if k not in golden.SHARD_GOLDEN_KEYS]
+        if unknown:
+            print(f"unknown shard config(s) {unknown}; "
+                  f"have {sorted(golden.SHARD_GOLDEN_KEYS)}")
+            return 2
     else:
-        keys = [workload] if workload else list(registry.WORKLOAD_KEYS)
-    unknown = [k for k in keys if k not in registry.WORKLOAD_KEYS]
-    if unknown:
-        print(f"unknown workload(s) {unknown}; have {sorted(registry.WORKLOAD_KEYS)}")
-        return 2
-    if sample:
+        if sample:
+            keys = [workload] if workload else list(golden.SAMPLE_GOLDEN_KEYS)
+        elif serve:
+            keys = [workload] if workload else list(golden.SERVE_GOLDEN_KEYS)
+        else:
+            keys = [workload] if workload else list(registry.WORKLOAD_KEYS)
+        unknown = [k for k in keys if k not in registry.WORKLOAD_KEYS]
+        if unknown:
+            print(f"unknown workload(s) {unknown}; "
+                  f"have {sorted(registry.WORKLOAD_KEYS)}")
+            return 2
+    if shard:
+        update_fn = golden.update_shard_goldens
+        verify_fn = golden.verify_shard_goldens
+    elif sample:
         update_fn = golden.update_sample_goldens
         verify_fn = golden.verify_sample_goldens
     elif serve:
@@ -238,7 +256,8 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
         for path in update_fn(keys, jobs=jobs, cache=cache):
             print(f"wrote {path}")
         return 0
-    flag = (" --sample" if sample
+    flag = (" --shard" if shard
+            else " --sample" if sample
             else " --serve" if serve
             else " --fused" if fused
             else " --memory" if memory
@@ -429,6 +448,126 @@ def _run_bench_sample(args, fanouts: tuple, epochs: int, cache) -> int:
     return 0
 
 
+def _print_shard_report(report: dict) -> None:
+    part = report["partition"]
+    print(f"== {report['name']} ({report['workload']},"
+          f" mode={report['mode']}, parts={report['parts']},"
+          f" gpus={report['gpus']},"
+          f" offload={'yes' if report['offload'] else 'no'},"
+          f" epochs={report['epochs']})")
+    print(f"   graph         {report['graph_nodes']} nodes,"
+          f" {report['graph_edges']} edges, feat_dim={report['feat_dim']},"
+          f" {report['train_nodes']} train seeds")
+    print(f"   partition     {part['method']}+lp{part['refine']}:"
+          f" cut {part['edge_cut']} ({part['cut_fraction'] * 100:.1f}%),"
+          f" balance {part['achieved_balance']:.3f},"
+          f" replication {part['replication_factor']:.2f}x")
+    print(f"   halo          {report['halo_exchanges']} exchange(s),"
+          f" {report['halo_bytes'] / 1e6:.2f} MB moved,"
+          f" {report['halo_time_s'] * 1e3:.3f} ms on the NVLink model")
+    print(f"   staging       {report['h2d_bytes'] / 1e6:.2f} MB H2D,"
+          f" {report['d2h_bytes'] / 1e6:.2f} MB D2H,"
+          f" {report['allreduce_bytes'] / 1e6:.2f} MB allreduced")
+    print(f"   throughput    {report['epochs_per_sim_s']:.2f} epochs per"
+          f" simulated second ({report['kernels']} kernels,"
+          f" {report['sim_wall_s'] * 1e3:.2f} ms wall)")
+    print(f"   HBM           peak live {report['peak_live_bytes'] / 1e6:.2f}"
+          f" MB, peak reserved {report['peak_reserved_bytes'] / 1e6:.2f} MB"
+          f" ({report['hbm_utilization'] * 100:.3f}% of capacity)")
+    if report["oom_events"]:
+        print(f"   OOM           {report['oom_events']} capacity"
+              f" violation(s) — rerun with --strict to raise")
+    if report["losses"]:
+        losses = ", ".join(f"{x:.6f}" for x in report["losses"])
+        print(f"   loss          {losses}")
+    print(f"   shard digest  {report['shard_digest'][:16]}"
+          f"  (halo trace {report['halo_trace_digest'][:12]})")
+
+
+def _run_shard_cmd(args, cache) -> int:
+    from .gpu.memory import OOMError
+    from .profiling import trace as trace_mod
+    from .train.sharded import resolve_shard_config, shard_run
+
+    if not args.workload:
+        return _run_bench_shard(args, cache)
+    try:
+        key, params = resolve_shard_config(args.workload.upper())
+    except ValueError as exc:
+        print(exc)
+        return 2
+    if args.parts is not None:
+        params["parts"] = args.parts
+    if args.offload:
+        params["offload"] = True
+    if args.nodes is not None:
+        params["nodes"] = args.nodes
+    if args.feat_dim is not None:
+        params["feat_dim"] = args.feat_dim
+    if args.epochs > 1:
+        params["epochs"] = args.epochs
+    params["seed"] = args.seed
+    params["strict"] = args.strict
+    try:
+        report, timeline = shard_run(key, traced=args.output is not None,
+                                     **params)
+    except ValueError as exc:  # contradictory knobs / unshardable workload
+        print(exc)
+        return 2
+    except OOMError as exc:
+        print(f"OOM under --strict: {exc}")
+        print("shard the graph over more --parts, or stage it with --offload")
+        return 1
+    _print_shard_report(report)
+    if timeline is not None:
+        trace_mod.validate_chrome(timeline.to_chrome())
+        timeline.write(args.output)
+        print(f"wrote {args.output}  (load in https://ui.perfetto.dev or "
+              f"chrome://tracing)")
+    if args.metrics or args.metrics_output:
+        _dump_metrics(args.metrics_output)
+    return 0
+
+
+def _run_bench_shard(args, cache) -> int:
+    # suite mode: the capacity-frontier study (BENCH_shard.json) — largest
+    # trainable node count per device configuration under the HBM model,
+    # gated exactly against a committed baseline (simulated => deterministic)
+    report = executor.benchmark_shard(epochs=1, seed=args.seed,
+                                      jobs=args.jobs, cache=cache)
+    print(f"capacity frontier (feat_dim={report['feat_dim']},"
+          f" hidden={report['hidden']}, {report['epochs']} epoch(s),"
+          f" ladder {report['ladder'][0]}..{report['ladder'][-1]} nodes):")
+    print(f"  {'config':<10}{'parts':>6}{'offload':>9}{'frontier':>10}"
+          f"{'peak GB':>9}")
+    for label, cfg in report["configs"].items():
+        frontier = cfg["frontier"]
+        peak = (cfg["points"][str(frontier)]["peak_reserved_bytes"] / 2**30
+                if frontier else 0.0)
+        print(f"  {label:<10}{cfg['parts']:>6}"
+              f"{'yes' if cfg['offload'] else 'no':>9}"
+              f"{frontier:>10}{peak:>9.2f}")
+    out = args.output or "BENCH_shard.json"
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = executor.check_shard_regression(report, baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
+            return 1
+        print(f"baseline check ok (frontiers"
+              f" {baseline.get('frontier', {})} reproduced exactly)")
+    if args.metrics or args.metrics_output:
+        _dump_metrics(args.metrics_output)
+    return 0
+
+
 def _run_trace(args) -> int:
     from .profiling import trace
 
@@ -546,13 +685,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("command",
                         choices=["table1", *FIGURES, "fig9", "all",
                                  "profile", "memory", "memstats", "golden",
-                                 "bench", "trace", "serve", "sample"],
+                                 "bench", "trace", "serve", "sample",
+                                 "shard"],
                         help="which artifact to regenerate")
     parser.add_argument("workload", nargs="?",
                         help="workload key (for 'profile', 'memstats', "
-                             "'golden', 'trace', 'serve' and 'sample'; "
-                             "case-insensitive for 'trace', 'memstats', "
-                             "'serve' and 'sample')")
+                             "'golden', 'trace', 'serve', 'sample' and "
+                             "'shard'; case-insensitive for 'trace', "
+                             "'memstats', 'serve', 'sample' and 'shard')")
     parser.add_argument("--epochs", type=int, default=1)
     parser.add_argument("--scale", default=None,
                         choices=["test", "profile", "scaling"],
@@ -587,6 +727,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="'golden': operate on sampled-training "
                              "snapshots (tests/golden/sample_*.json) — "
                              "mini-batch loader reports")
+    parser.add_argument("--shard", action="store_true",
+                        help="'golden': operate on sharded-training "
+                             "snapshots (tests/golden/shard_*.json) — "
+                             "partition-parallel training reports")
+    parser.add_argument("--parts", type=int, default=None,
+                        help="'shard': number of graph partitions "
+                             "(default: the named config's, else 4)")
+    parser.add_argument("--offload", action="store_true",
+                        help="'shard': stage partitions out-of-core through "
+                             "one device's HBM instead of one GPU per part")
+    parser.add_argument("--feat-dim", type=int, default=None,
+                        help="'shard': synthetic feature width (default: the "
+                             "named config's, else 64)")
     parser.add_argument("--fanouts", default="10,5",
                         help="'sample': comma-separated per-layer neighbor "
                              "fanouts, outermost first (default 10,5)")
@@ -652,7 +805,10 @@ def main(argv: list[str] | None = None) -> int:
                              "exit 1 if warm steady-state throughput "
                              "regresses >25%% against it. 'sample' (suite "
                              "mode): committed BENCH_sample baseline; exit 1 "
-                             "unless prefetch strictly beats synchronous")
+                             "unless prefetch strictly beats synchronous. "
+                             "'shard' (suite mode): committed BENCH_shard "
+                             "baseline; exit 1 unless capacity frontiers "
+                             "reproduce exactly")
     args = parser.parse_args(argv)
     cache = False if args.no_cache else True
 
@@ -660,7 +816,7 @@ def main(argv: list[str] | None = None) -> int:
         return _run_golden(args.workload, args.update, args.jobs, cache,
                            traces=args.traces, memory=args.memory,
                            fused=args.fused, serve=args.serve,
-                           sample=args.sample)
+                           sample=args.sample, shard=args.shard)
     if args.command == "bench":
         return _run_bench(args)
     if args.command == "trace":
@@ -669,6 +825,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "sample":
         return _run_sample_cmd(args, cache)
+    if args.command == "shard":
+        return _run_shard_cmd(args, cache)
     if args.command == "memstats":
         return _print_memstats(args, cache)
 

@@ -30,6 +30,8 @@ boundaries without pickling closures:
 * ``("capture_fingerprint", {...})`` → :func:`repro.testing.golden.capture_fingerprint`
 * ``("fused_fingerprint", {...})``   → :func:`repro.testing.golden.fused_fingerprint`
 * ``("serve", {...})``        → :func:`repro.serve.serve_report`
+* ``("sample", {...})``       → :func:`repro.train.loader.sample_report`
+* ``("shard", {...})``        → :func:`repro.train.sharded.shard_report`
 
 ``jobs=None`` resolves the worker count from ``$REPRO_JOBS`` (default 1),
 which is how CI exercises the parallel path under the stock pytest suite.
@@ -41,6 +43,7 @@ import multiprocessing
 import os
 import tempfile
 import time
+import warnings
 from typing import Optional, Sequence
 
 from .cache import ProfileCache, resolve_cache
@@ -103,6 +106,12 @@ def _run_sample(params: dict):
     return loader.sample_report(**params)
 
 
+def _run_shard(params: dict):
+    from ..train import sharded
+
+    return sharded.shard_report(**params)
+
+
 _TASK_RUNNERS = {
     "profile": _run_profile,
     "fingerprint": _run_fingerprint,
@@ -113,6 +122,7 @@ _TASK_RUNNERS = {
     "fused_fingerprint": _run_fused_fingerprint,
     "serve": _run_serve,
     "sample": _run_sample,
+    "shard": _run_shard,
 }
 
 
@@ -372,6 +382,31 @@ def sample_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
         for k in keys
     ]
     return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))
+
+
+def shard_suite(names: Optional[Sequence[str]] = None, seed: Optional[int] = None,
+                jobs: Optional[int] = None, cache=None, **overrides) -> dict:
+    """Sharded-training reports for ``names`` (default: goldened configs).
+
+    Each name is either a named shard configuration (``ARGA-P4``) or a bare
+    shardable workload key; ``overrides`` land on top of the resolved
+    parameters.  Reports are pure functions of their parameters (partition
+    plans, simulated clocks, integer geometry), so shard digests are
+    byte-identical across ``--jobs``, cache settings and repeat runs
+    (``tests/test_shard_golden.py`` pins the matrix).
+    """
+    from ..train.sharded import SHARD_GOLDEN_KEYS, resolve_shard_config
+
+    if names is None:
+        names = list(SHARD_GOLDEN_KEYS)
+    tasks: list[Task] = []
+    for name in names:
+        key, params = resolve_shard_config(name)
+        params.update(overrides)
+        if seed is not None:
+            params["seed"] = seed
+        tasks.append(("shard", dict(key=key, **params)))
+    return dict(zip(names, run_tasks(tasks, jobs=jobs, cache=cache)))
 
 
 def run_scaling_points(points: Sequence[tuple[str, int]],
@@ -658,5 +693,112 @@ def check_sample_regression(report: dict, baseline: dict,
             f"suite prefetch speedup {got:.3f}x fell below {floor:.3f}x "
             f"({(1 - tolerance) * 100:.0f}% of the committed baseline "
             f"{base:.3f}x)"
+        )
+    return failures
+
+
+#: capacity-frontier probe grid: node-count ladder x device configurations
+SHARD_BENCH = dict(
+    ladder=(40960, 49152, 57344, 65536, 73728, 81920, 90112, 98304),
+    feat_dim=65536,
+    hidden=64,
+    configs=(
+        ("gpus1", 1, False),
+        ("gpus2", 2, False),
+        ("gpus4", 4, False),
+        ("offload", 4, True),
+    ),
+)
+
+
+def benchmark_shard(ladder: Optional[Sequence[int]] = None,
+                    feat_dim: Optional[int] = None,
+                    hidden: Optional[int] = None,
+                    epochs: int = 1, seed: int = 0,
+                    jobs: Optional[int] = None, cache=None) -> dict:
+    """Capacity-frontier study (``BENCH_shard.json``).
+
+    For each device configuration (1/2/4 partition-parallel GPUs, plus
+    host-offload through one GPU) every node count on the ladder runs one
+    capacity-mode epoch under the 16 GiB HBM model; a point *fits* when no
+    device records an OOM event.  The frontier is the largest fitting node
+    count.  Everything is geometry + simulated clocks, hence
+    byte-deterministic; the CI gate pins the frontiers exactly.
+    """
+    ladder = tuple(int(n) for n in (ladder or SHARD_BENCH["ladder"]))
+    feat_dim = int(feat_dim or SHARD_BENCH["feat_dim"])
+    hidden = int(hidden or SHARD_BENCH["hidden"])
+    configs = SHARD_BENCH["configs"]
+    grid = [(cfg, nodes) for cfg in configs for nodes in ladder]
+    tasks: list[Task] = [
+        ("shard", dict(key="ARGA", parts=parts, offload=offload, nodes=nodes,
+                       feat_dim=feat_dim, hidden=hidden, epochs=epochs,
+                       seed=seed, mode="capacity", strict=False,
+                       name=f"frontier-{label}-{nodes}"))
+        for (label, parts, offload), nodes in grid
+    ]
+    with warnings.catch_warnings():
+        # non-fitting probes intentionally overflow the capacity model
+        warnings.simplefilter("ignore", ResourceWarning)
+        results = run_tasks(tasks, jobs=jobs, cache=cache)
+    by_point = {(label, nodes): r for ((label, _, _), nodes), r
+                in zip(grid, results)}
+    out_configs: dict[str, dict] = {}
+    frontier: dict[str, int] = {}
+    for label, parts, offload in configs:
+        points = {}
+        best = 0
+        for nodes in ladder:
+            r = by_point[(label, nodes)]
+            fits = r["oom_events"] == 0
+            if fits:
+                best = nodes
+            points[str(nodes)] = {
+                "fits": fits,
+                "oom_events": r["oom_events"],
+                "peak_reserved_bytes": r["peak_reserved_bytes"],
+                "halo_bytes": r["halo_bytes"],
+                "sim_wall_s": r["sim_wall_s"],
+            }
+        out_configs[label] = {"parts": parts, "offload": offload,
+                              "frontier": best, "points": points}
+        frontier[label] = best
+    return {
+        "ladder": list(ladder),
+        "feat_dim": feat_dim,
+        "hidden": hidden,
+        "epochs": int(epochs),
+        "seed": int(seed),
+        "configs": out_configs,
+        "frontier": frontier,
+    }
+
+
+def check_shard_regression(report: dict, baseline: dict) -> list[str]:
+    """Gate the capacity frontier against its committed baseline.
+
+    The frontier is a deterministic function of the partitioner, the byte
+    model and the HBM capacity, so the gate demands exact equality per
+    configuration, monotone growth with GPU count, and that host offload
+    extends the plain single-GPU frontier.
+    """
+    failures: list[str] = []
+    got = report.get("frontier", {})
+    base = baseline.get("frontier", {})
+    for label in sorted(set(base) | set(got)):
+        if got.get(label) != base.get(label):
+            failures.append(
+                f"{label}: capacity frontier {got.get(label)} != committed "
+                f"baseline {base.get(label)}"
+            )
+    order = [got.get(label, 0) for label in ("gpus1", "gpus2", "gpus4")]
+    if sorted(order) != order:
+        failures.append(
+            f"frontier not monotone in GPU count: {order} (gpus1/2/4)"
+        )
+    if got.get("offload", 0) <= got.get("gpus1", 0):
+        failures.append(
+            f"host offload frontier {got.get('offload')} does not extend "
+            f"the plain single-GPU frontier {got.get('gpus1')}"
         )
     return failures

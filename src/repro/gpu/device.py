@@ -307,6 +307,51 @@ class SimulatedGPU:
         """Copy a device buffer back to the host."""
         return self._transfer(array, "d2h", label)
 
+    def transfer_bytes(
+        self, nbytes: int, direction: str, label: str = "",
+        num_values: int = 0,
+    ) -> TransferRecord:
+        """Account an *analytic* host<->device copy of ``nbytes``.
+
+        Out-of-core staging (repro.train.sharded) moves partitions far too
+        large to materialize as real arrays, so this path charges the PCIe
+        cost model with a bare byte count: no payload to measure sparsity
+        on, no compression (nothing to compress), and no tracker
+        registration — capacity-mode callers drive the memory pool
+        directly.  Clock advance, stats and transfer listeners behave
+        exactly like :meth:`h2d`/:meth:`d2h`.
+        """
+        if direction not in ("h2d", "d2h"):
+            raise ValueError(f"unknown transfer direction {direction!r}")
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        label = label or direction
+        duration = timing.h2d_time(nbytes, self.sim)
+        start = max(self.clock_s, self.host_clock_s)
+        record = TransferRecord(
+            direction=direction,
+            nbytes=nbytes,
+            num_values=int(num_values),
+            num_zeros=0,
+            label=label,
+            start_s=start,
+            duration_s=duration,
+            device_id=self.device_id,
+            wire_bytes=nbytes,
+        )
+        self.clock_s = start + duration
+        self.host_clock_s = self.clock_s
+        self.stats.transfer_count += 1
+        self.stats.transfer_time_s += duration
+        if direction == "h2d":
+            self.stats.h2d_bytes += nbytes
+        else:
+            self.stats.d2h_bytes += nbytes
+        for listener in self._transfer_listeners:
+            listener(record)
+        return record
+
     # -- clock ---------------------------------------------------------------
     def elapsed_s(self) -> float:
         return self.clock_s

@@ -22,6 +22,21 @@ class AllReduceCost:
     duration_s: float
 
 
+@dataclass
+class HaloExchangeCost:
+    """Cost of one halo-feature gather across all devices.
+
+    ``recv_bytes`` is the per-device receive volume (halo features pulled
+    from peers); the collective completes when the heaviest receiver is
+    done, so the duration is set by ``max(recv_bytes)`` over the aggregate
+    NVLink bandwidth plus one link latency.
+    """
+
+    recv_bytes: tuple[int, ...]
+    total_bytes: int
+    duration_s: float
+
+
 class MultiGPUSystem:
     """N simulated GPUs with an NVLink-style all-to-all interconnect."""
 
@@ -94,6 +109,55 @@ class MultiGPUSystem:
                              "nbytes": bucket,
                              "ring_peers": len(self.devices)},
                         )
+        for dev in self.devices:
+            dev.clock_s = barrier + cost.duration_s
+            dev.host_clock_s = dev.clock_s
+        return cost.duration_s
+
+    def halo_exchange_cost(self, recv_bytes) -> HaloExchangeCost:
+        """Time for an all-to-all halo-feature gather.
+
+        ``recv_bytes`` lists, per device, how many bytes of out-of-part
+        neighbor features it must pull from its peers.  Every device
+        gathers concurrently over the all-to-all NVLink fabric, so the
+        collective lasts as long as the heaviest receiver needs.
+        """
+        recv = tuple(int(b) for b in recv_bytes)
+        if len(recv) != len(self.devices):
+            raise ValueError(
+                f"expected {len(self.devices)} receive volumes, got {len(recv)}")
+        total = sum(recv)
+        if len(self.devices) == 1 or max(recv, default=0) == 0:
+            return HaloExchangeCost(recv, total, 0.0)
+        link = self.sim.link
+        duration = link.latency_s + max(recv) / link.aggregate_bandwidth_bytes_per_s
+        return HaloExchangeCost(recv, total, duration)
+
+    def halo_exchange(self, recv_bytes, label: str = "halo") -> float:
+        """Perform a halo gather: advance every device clock past it.
+
+        Synchronizing like :meth:`allreduce` — no device can aggregate
+        until its halo features have landed, and senders must stay until
+        peers have pulled from them.  When a tracer is installed each
+        device's pid gets one span on the ``halo`` stream annotated with
+        its receive volume.
+        """
+        cost = self.halo_exchange_cost(recv_bytes)
+        barrier = max(dev.clock_s for dev in self.devices)
+        if cost.duration_s > 0:
+            from ..profiling import trace
+
+            tracer = trace.active()
+            if tracer is not None:
+                for dev, nbytes in zip(self.devices, cost.recv_bytes):
+                    tracer.add_span(
+                        label, trace.CAT_HALO, dev.device_id, "halo",
+                        barrier, barrier + cost.duration_s,
+                        {"label": label,
+                         "recv_bytes": nbytes,
+                         "total_bytes": cost.total_bytes,
+                         "peers": len(self.devices)},
+                    )
         for dev in self.devices:
             dev.clock_s = barrier + cost.duration_s
             dev.host_clock_s = dev.clock_s

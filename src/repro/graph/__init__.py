@@ -8,6 +8,7 @@ from . import generators
 from .batch import BatchedGraph, batch_graphs, unbatch
 from .graph import Graph
 from .hetero import EdgeType, HeteroGraph
+from .partition import PartitionPlan, partition_graph, plan_digest
 from .sampling import (
     SampledBlock,
     pinsage_neighbors,
@@ -22,11 +23,14 @@ __all__ = [
     "EdgeType",
     "Graph",
     "HeteroGraph",
+    "PartitionPlan",
     "SampledBlock",
     "TemporalSignal",
     "batch_graphs",
     "generators",
+    "partition_graph",
     "pinsage_neighbors",
+    "plan_digest",
     "random_walks",
     "unbatch",
     "uniform_neighbor_block",

@@ -450,6 +450,48 @@ def collect_loader(report: dict,
       **labels).set(report["peak_live_bytes"])
 
 
+def collect_shard(report: dict,
+                  registry: Optional[MetricsRegistry] = None) -> None:
+    """Absorb one sharded-training report (:func:`repro.train.sharded`).
+
+    Every series carries ``workload`` / ``config`` / ``parts`` / ``offload``
+    labels so a capacity sweep (the BENCH_shard frontier study) lands as
+    distinct label sets in one registry.
+    """
+    reg = registry if registry is not None else REGISTRY
+    labels = {"workload": report["workload"], "config": report["name"],
+              "parts": str(report["parts"]),
+              "offload": str(report["offload"]).lower()}
+    g = reg.gauge
+    g("repro_shard_edge_cut_total", "Edges crossing partition boundaries",
+      **labels).set(report["partition"]["edge_cut"])
+    g("repro_shard_cut_fraction", "Cut edges over total edges",
+      **labels).set(report["partition"]["cut_fraction"])
+    g("repro_shard_replication_factor",
+      "Stored rows (owned + halo) over graph nodes",
+      **labels).set(report["partition"]["replication_factor"])
+    g("repro_shard_halo_bytes_total",
+      "Bytes moved by halo exchanges across all epochs",
+      **labels).set(report["halo_bytes"])
+    g("repro_shard_halo_seconds", "Simulated time inside halo exchanges",
+      **labels).set(report["halo_time_s"])
+    g("repro_shard_allreduce_bytes_total",
+      "Gradient payload bytes allreduced across all epochs",
+      **labels).set(report["allreduce_bytes"])
+    g("repro_shard_h2d_bytes_total", "Host-to-device staging bytes",
+      **labels).set(report["h2d_bytes"])
+    g("repro_shard_d2h_bytes_total", "Device-to-host staging bytes",
+      **labels).set(report["d2h_bytes"])
+    g("repro_shard_peak_reserved_bytes",
+      "Heaviest device's peak reserved HBM",
+      **labels).set(report["peak_reserved_bytes"])
+    g("repro_shard_oom_events_total", "HBM capacity violations (non-strict)",
+      **labels).set(report["oom_events"])
+    g("repro_shard_epochs_per_sim_second",
+      "Sharded-training throughput (simulated)",
+      **labels).set(report["epochs_per_sim_s"])
+
+
 def observe_task(kind: str, seconds: float, cached: bool,
                  registry: Optional[MetricsRegistry] = None) -> None:
     """Record one executor task completion (wall latency + cache outcome)."""

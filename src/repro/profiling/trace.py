@@ -35,6 +35,9 @@ tid            contents
 ``loader``     one span per sampled mini-batch (repro.train.loader),
                from sampler start to batch-ready, annotated with seed
                count, sampled edges and device stall
+``halo``       one span per device per halo-feature exchange
+               (repro.train.sharded), annotated with byte counts and
+               peer count
 =============  =========================================================
 
 Determinism rules
@@ -96,14 +99,18 @@ CAT_QUEUE = "queue"
 #: the ``loader`` stream, from sample start to batch-ready.  Deliberately
 #: NOT a device category — sampling runs on the host and overlaps compute.
 CAT_LOADER = "loader"
+#: halo-feature exchange spans (repro.train.sharded): one per device per
+#: collective on the ``halo`` stream — the NVLink gather of out-of-part
+#: neighbor features before a partition's aggregation can run
+CAT_HALO = "halo"
 
 #: categories that occupy the device (busy/idle accounting)
-DEVICE_CATS = (CAT_KERNEL, CAT_TRANSFER, CAT_ALLREDUCE)
+DEVICE_CATS = (CAT_KERNEL, CAT_TRANSFER, CAT_ALLREDUCE, CAT_HALO)
 
 #: canonical stream display order inside one pid
 _TID_RANK = {"epoch": 0, "phase": 1, "kernels": 2, "h2d": 3, "d2h": 4,
              "allreduce": 5, "memory": 6, "serve": 7, "queue": 8,
-             "loader": 9}
+             "loader": 9, "halo": 10}
 
 
 def _tid_rank(tid: str) -> int:

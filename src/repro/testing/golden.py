@@ -1068,3 +1068,136 @@ def update_memory_goldens(keys: Optional[list[str]] = None,
     reports = executor.memstats_suite(keys, scale=scale, epochs=epochs,
                                       seed=seed, jobs=jobs, cache=cache)
     return [save_memory_golden(reports[key]) for key in keys]
+
+
+# -- sharded-training goldens -------------------------------------------------
+# Partition-parallel snapshots (repro.train.sharded): the partition plan's
+# quality metrics and digest, halo-exchange volumes and the halo span-stream
+# digest, staging transfers, HBM peaks and simulated epoch times.  Everything
+# but the fp64 losses is integer geometry or simulated-clock arithmetic and
+# compares EXACTLY; losses compare within fp64 tolerance because cross-part
+# summation order differs from the whole-graph run.
+
+#: default snapshot set for ``python -m repro golden --shard``: numeric-mode
+#: runs at 2/4 parts and under host offload, plus a capacity-mode run
+SHARD_GOLDEN_KEYS = ("ARGA-P2", "ARGA-P4", "ARGA-OFFLOAD", "ARGA-CAP4")
+
+#: the parameters a shard snapshot records (and verification replays under)
+_SHARD_PARAM_FIELDS = ("parts", "offload", "nodes", "feat_dim", "hidden",
+                       "epochs", "seed", "mode")
+
+#: max |expected - actual| for per-epoch losses (cross-part fp64 reorder)
+_SHARD_LOSS_TOL = 1e-9
+
+
+def shard_golden_path(name: str) -> Path:
+    return golden_dir() / f"shard_{name}.json"
+
+
+def load_shard_golden(name: str) -> dict:
+    path = shard_golden_path(name)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no golden sharded-training snapshot for {name!r} at {path}; "
+            f"generate it with `python -m repro golden --shard --update`"
+        )
+    return json.loads(path.read_text())
+
+
+def save_shard_golden(report: dict) -> Path:
+    path = shard_golden_path(report["name"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_shard_reports(expected: dict, actual: dict) -> list[str]:
+    """Human-readable diffs (empty when reports match).
+
+    Plan metrics, halo/staging byte counts, kernel counts and HBM peaks are
+    integer geometry; epoch times are simulated-clock arithmetic — all
+    compare exactly.  Losses are real fp64 training values whose cross-part
+    summation order is partition-dependent, so they get a tolerance.  The
+    digest-drift line comes last, as in every other golden family.
+    """
+    diffs: list[str] = []
+    nested = {"partition"}
+    tolerant = {"losses", "loss_final"}
+    scalar_fields = sorted(
+        (set(expected) | set(actual)) - nested - tolerant - {"shard_digest"}
+    )
+    for field in scalar_fields:
+        if expected.get(field) != actual.get(field):
+            diffs.append(f"{field}: expected {expected.get(field)!r}, "
+                         f"got {actual.get(field)!r}")
+    for block in sorted(nested):
+        exp, act = expected.get(block, {}), actual.get(block, {})
+        for name in sorted(set(exp) | set(act)):
+            if exp.get(name) != act.get(name):
+                diffs.append(f"{block}[{name}]: expected {exp.get(name)!r}, "
+                             f"got {act.get(name)!r}")
+    exp_losses = expected.get("losses") or []
+    act_losses = actual.get("losses") or []
+    if len(exp_losses) != len(act_losses):
+        diffs.append(f"losses: expected {len(exp_losses)} epochs, "
+                     f"got {len(act_losses)}")
+    elif exp_losses and max(abs(e - a) for e, a in
+                            zip(exp_losses, act_losses)) > _SHARD_LOSS_TOL:
+        diffs.append(f"losses: expected {exp_losses}, got {act_losses} "
+                     f"(tolerance {_SHARD_LOSS_TOL})")
+    if expected.get("shard_digest") != actual.get("shard_digest"):
+        diffs.append(
+            f"shard_digest: expected {expected.get('shard_digest')}, "
+            f"got {actual.get('shard_digest')} — the canonical sharded-"
+            f"training report changed even though the summary stats above "
+            f"{'also differ' if diffs else 'still match'}"
+        )
+    return diffs
+
+
+def verify_shard_goldens(names: Optional[list[str]] = None,
+                         jobs: Optional[int] = None,
+                         cache=None) -> dict[str, list[str]]:
+    """Diff fresh sharded-training reports against committed snapshots.
+
+    Mirrors :func:`verify_sample_goldens`: reports regenerate under each
+    snapshot's own recorded parameters, missing snapshots surface as
+    one-line diffs, and generation fans out through the execution engine.
+    """
+    from ..core import executor
+
+    names = list(names or SHARD_GOLDEN_KEYS)
+    expected: dict[str, dict] = {}
+    diffs: dict[str, list[str]] = {}
+    for name in names:
+        try:
+            expected[name] = load_shard_golden(name)
+        except FileNotFoundError as exc:
+            diffs[name] = [f"missing snapshot: {exc}"]
+
+    present = [n for n in names if n in expected]
+    by_params: dict[tuple, list[str]] = {}
+    for name in present:
+        exp = expected[name]
+        params = tuple(exp.get(f) for f in _SHARD_PARAM_FIELDS)
+        by_params.setdefault(params, []).append(name)
+    actual: dict[str, dict] = {}
+    for params, group in by_params.items():
+        actual.update(executor.shard_suite(
+            group, jobs=jobs, cache=cache,
+            **dict(zip(_SHARD_PARAM_FIELDS, params)),
+        ))
+    for name in present:
+        diffs[name] = compare_shard_reports(expected[name], actual[name])
+    return {name: diffs[name] for name in names}
+
+
+def update_shard_goldens(names: Optional[list[str]] = None,
+                         jobs: Optional[int] = None,
+                         cache=None) -> list[Path]:
+    """Regenerate sharded-training snapshots (default: the golden configs)."""
+    from ..core import executor
+
+    names = list(names or SHARD_GOLDEN_KEYS)
+    reports = executor.shard_suite(names, jobs=jobs, cache=cache)
+    return [save_shard_golden(reports[name]) for name in names]

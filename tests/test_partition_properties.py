@@ -1,0 +1,100 @@
+"""Hypothesis property suite for the edge-cut partitioner.
+
+Invariants sharded training rests on: every node is owned by exactly one
+part, part sizes respect the declared balance cap, the recorded edge cut
+matches a recount from the assignment, each halo is exactly the set of
+out-of-part in-neighbors of the part's owned nodes, and the whole plan
+replays byte-identically from its ``[seed, num_parts, method]`` spawn key.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators, partition_graph, plan_digest
+
+
+def _graph(seed):
+    g, _ = generators.stochastic_block_model(
+        [30, 30, 30], 0.15, 0.02, np.random.default_rng(seed))
+    return g
+
+
+graph_seeds = st.integers(0, 200)
+part_counts = st.integers(1, 6)
+methods = st.sampled_from(["bfs", "greedy"])
+refines = st.integers(0, 4)
+balances = st.sampled_from([1.0, 1.05, 1.2])
+seeds = st.integers(0, 10**6)
+
+
+class TestPartitionProperties:
+    @given(graph_seeds, part_counts, methods, refines, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_every_node_owned_exactly_once(self, gseed, num_parts, method,
+                                           refine, seed):
+        g = _graph(gseed)
+        plan = partition_graph(g, num_parts, method=method, seed=seed,
+                               refine=refine)
+        owned = np.concatenate(plan.parts)
+        assert owned.size == g.num_nodes
+        np.testing.assert_array_equal(np.sort(owned), np.arange(g.num_nodes))
+        for p, nodes in enumerate(plan.parts):
+            np.testing.assert_array_equal(plan.assignment[nodes], p)
+
+    @given(graph_seeds, part_counts, methods, refines, balances, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_part_sizes_respect_balance_cap(self, gseed, num_parts, method,
+                                            refine, balance, seed):
+        g = _graph(gseed)
+        plan = partition_graph(g, num_parts, method=method, balance=balance,
+                               seed=seed, refine=refine)
+        cap = int(math.ceil(g.num_nodes / num_parts * balance))
+        sizes = plan.part_sizes()
+        assert max(sizes) <= cap
+        assert min(sizes) >= 1  # refinement never empties a part
+        assert plan.achieved_balance == max(sizes) / (g.num_nodes / num_parts)
+
+    @given(graph_seeds, part_counts, methods, refines, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_edge_cut_matches_recount(self, gseed, num_parts, method,
+                                      refine, seed):
+        g = _graph(gseed)
+        plan = partition_graph(g, num_parts, method=method, seed=seed,
+                               refine=refine)
+        recount = int((plan.assignment[g.src] != plan.assignment[g.dst]).sum())
+        assert plan.edge_cut == recount
+        assert plan.cut_fraction == recount / g.num_edges
+        if num_parts == 1:
+            assert recount == 0
+
+    @given(graph_seeds, part_counts, methods, refines, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_halos_are_exactly_foreign_in_neighbors(self, gseed, num_parts,
+                                                    method, refine, seed):
+        g = _graph(gseed)
+        plan = partition_graph(g, num_parts, method=method, seed=seed,
+                               refine=refine)
+        src_part = plan.assignment[g.src]
+        dst_part = plan.assignment[g.dst]
+        cut = src_part != dst_part
+        for p in range(num_parts):
+            expected = np.unique(g.src[cut & (dst_part == p)])
+            np.testing.assert_array_equal(plan.halos[p], expected)
+            # a halo node is never owned by the part that replicates it
+            assert np.intersect1d(plan.halos[p], plan.parts[p]).size == 0
+
+    @given(graph_seeds, part_counts, methods, refines, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_plans_replay_byte_identically(self, gseed, num_parts, method,
+                                           refine, seed):
+        g = _graph(gseed)
+        first = partition_graph(g, num_parts, method=method, seed=seed,
+                                refine=refine)
+        again = partition_graph(g, num_parts, method=method, seed=seed,
+                                refine=refine)
+        assert first.assignment.tobytes() == again.assignment.tobytes()
+        assert plan_digest(first) == plan_digest(again)
+        assert first.describe() == again.describe()

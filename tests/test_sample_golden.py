@@ -13,19 +13,14 @@ import json
 import pytest
 
 from repro.core import executor
-from repro.core.cache import ProfileCache
-from repro.gpu import analysis_cache
 from repro.testing import golden
 from repro.train.loader import digest_sample_report, sample_report
+from tests.golden_matrix import GoldenMatrix
 
 KEYS = list(golden.SAMPLE_GOLDEN_KEYS)
 
 #: fast determinism-matrix knobs (one small epoch)
 FAST = dict(fanouts=(4, 3), batch_size=32, epochs=1)
-
-
-def _canonical(report) -> str:
-    return json.dumps(report, sort_keys=True)
 
 
 class TestCommittedSnapshots:
@@ -56,34 +51,17 @@ class TestCommittedSnapshots:
         assert "sample_digest" in diff[-1]
 
 
-class TestDeterminism:
-    def test_repeat_runs_byte_identical(self):
-        a = sample_report("ARGA", scale="test", **FAST)
-        b = sample_report("ARGA", scale="test", **FAST)
-        assert _canonical(a) == _canonical(b)
+class TestDeterminism(GoldenMatrix):
+    keys = KEYS
 
-    def test_jobs_do_not_change_reports(self):
-        serial = executor.sample_suite(KEYS, jobs=1, cache=False, **FAST)
-        forked = executor.sample_suite(KEYS, jobs=2, cache=False, **FAST)
-        for key in KEYS:
-            assert _canonical(serial[key]) == _canonical(forked[key]), key
+    def run_single(self):
+        return sample_report("ARGA", scale="test", **FAST)
 
-    def test_profile_cache_replays_identically(self, tmp_path):
-        cache = ProfileCache(tmp_path)
-        cold = executor.sample_suite(KEYS, cache=cache, **FAST)
-        warm = executor.sample_suite(KEYS, cache=cache, **FAST)
-        assert cache.hits >= len(KEYS)
-        for key in KEYS:
-            assert _canonical(cold[key]) == _canonical(warm[key]), key
+    def run_suite(self, *, jobs=None, cache=None):
+        return executor.sample_suite(KEYS, jobs=jobs, cache=cache, **FAST)
 
-    def test_analysis_cache_does_not_change_report(self):
-        with analysis_cache.override(True):
-            cached = sample_report("PSAGE-MVL", scale="test", **FAST)
-        with analysis_cache.override(False):
-            uncached = sample_report("PSAGE-MVL", scale="test", **FAST)
-        # launch-analysis memoization is a speed knob, not a semantics knob:
-        # everything except the hit/miss ratio must be byte-identical
-        assert _canonical(cached) == _canonical(uncached)
+    def run_analysis(self):
+        return sample_report("PSAGE-MVL", scale="test", **FAST)
 
 
 class TestBenchmarkGate:

@@ -13,16 +13,11 @@ import json
 import pytest
 
 from repro.core import executor
-from repro.core.cache import ProfileCache
-from repro.gpu import analysis_cache
 from repro.serve.server import digest_report, serve_report
 from repro.testing import golden
+from tests.golden_matrix import GoldenMatrix
 
 KEYS = list(golden.SERVE_GOLDEN_KEYS)
-
-
-def _canonical(report) -> str:
-    return json.dumps(report, sort_keys=True)
 
 
 class TestCommittedSnapshots:
@@ -49,31 +44,14 @@ class TestCommittedSnapshots:
         assert "serve_digest" in diff[-1]
 
 
-class TestDeterminism:
-    def test_repeat_runs_byte_identical(self):
-        a = serve_report("DGCN", scale="test", requests=24, qps=200.0)
-        b = serve_report("DGCN", scale="test", requests=24, qps=200.0)
-        assert _canonical(a) == _canonical(b)
+class TestDeterminism(GoldenMatrix):
+    keys = KEYS
 
-    def test_jobs_do_not_change_reports(self):
-        serial = executor.serve_suite(KEYS, requests=24, jobs=1, cache=False)
-        forked = executor.serve_suite(KEYS, requests=24, jobs=2, cache=False)
-        for key in KEYS:
-            assert _canonical(serial[key]) == _canonical(forked[key]), key
+    def run_single(self):
+        return serve_report("DGCN", scale="test", requests=24, qps=200.0)
 
-    def test_profile_cache_replays_identically(self, tmp_path):
-        cache = ProfileCache(tmp_path)
-        cold = executor.serve_suite(KEYS, requests=24, cache=cache)
-        warm = executor.serve_suite(KEYS, requests=24, cache=cache)
-        assert cache.hits >= len(KEYS)
-        for key in KEYS:
-            assert _canonical(cold[key]) == _canonical(warm[key]), key
+    def run_suite(self, *, jobs=None, cache=None):
+        return executor.serve_suite(KEYS, requests=24, jobs=jobs, cache=cache)
 
-    def test_analysis_cache_does_not_change_report(self):
-        with analysis_cache.override(True):
-            cached = serve_report("PSAGE-MVL", scale="test", requests=24)
-        with analysis_cache.override(False):
-            uncached = serve_report("PSAGE-MVL", scale="test", requests=24)
-        # launch-analysis memoization is a speed knob, not a semantics knob:
-        # everything except the hit/miss ratio must be byte-identical
-        assert _canonical(cached) == _canonical(uncached)
+    def run_analysis(self):
+        return serve_report("PSAGE-MVL", scale="test", requests=24)

@@ -34,6 +34,10 @@ Usage::
     python -m repro shard arga --parts 4 --offload     # out-of-core staging
     python -m repro shard                  # capacity frontier BENCH_shard.json
     python -m repro golden --shard         # diff sharded reports vs snapshots
+    python -m repro insights dgcn          # roofline/bottleneck attribution
+    python -m repro insights dgcn --gpus 2 -o insights.json
+    python -m repro insights --diff old.json new.json  # differential diagnosis
+    python -m repro golden --insights      # diff insights reports vs snapshots
 
 Suite-level commands accept ``--jobs N`` (characterize independent
 workloads on N worker processes) and ``--no-cache`` (recompute instead of
@@ -134,12 +138,15 @@ def _print_memory(mark: GNNMark) -> None:
               f"{mem['data_fraction'] * 100:>7.1f}%")
 
 
-def _dump_metrics(output: str | None) -> None:
+def _dump_metrics(output: str | None, manifest: dict | None = None) -> None:
     """Print (or write) the process-wide metrics registry.
 
     Without ``--metrics-output`` the Prometheus text format goes to stdout;
     with it, the canonical-JSON snapshot lands at the given path and the
-    Prometheus dump beside it as ``<stem>.prom``.
+    Prometheus dump beside it as ``<stem>.prom``.  When the caller knows
+    which run populated the registry, its :class:`RunManifest` is embedded
+    as a top-level ``runManifest`` key in the JSON export (the Prometheus
+    dump and the registry digest stay manifest-free).
     """
     from pathlib import Path
 
@@ -151,7 +158,11 @@ def _dump_metrics(output: str | None) -> None:
         print(reg.to_prometheus(), end="")
         return
     path = Path(output)
-    path.write_text(reg.to_json())
+    payload = reg.snapshot()
+    if manifest is not None:
+        payload = dict(payload)
+        payload["runManifest"] = manifest
+    path.write_text(reg.to_json(payload))
     prom = path.with_suffix(".prom")
     prom.write_text(reg.to_prometheus())
     print(f"wrote {path} and {prom} (metrics digest {reg.digest()[:12]})")
@@ -207,7 +218,8 @@ def _print_memstats(args, cache) -> int:
 def _run_golden(workload: str | None, update: bool, jobs: int | None,
                 cache, traces: bool = False, memory: bool = False,
                 fused: bool = False, serve: bool = False,
-                sample: bool = False, shard: bool = False) -> int:
+                sample: bool = False, shard: bool = False,
+                insights: bool = False) -> int:
     from .core import registry
     from .testing import golden
 
@@ -220,7 +232,10 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
                   f"have {sorted(golden.SHARD_GOLDEN_KEYS)}")
             return 2
     else:
-        if sample:
+        if insights:
+            keys = ([workload] if workload
+                    else list(golden.INSIGHTS_GOLDEN_KEYS))
+        elif sample:
             keys = [workload] if workload else list(golden.SAMPLE_GOLDEN_KEYS)
         elif serve:
             keys = [workload] if workload else list(golden.SERVE_GOLDEN_KEYS)
@@ -234,6 +249,9 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
     if shard:
         update_fn = golden.update_shard_goldens
         verify_fn = golden.verify_shard_goldens
+    elif insights:
+        update_fn = golden.update_insights_goldens
+        verify_fn = golden.verify_insights_goldens
     elif sample:
         update_fn = golden.update_sample_goldens
         verify_fn = golden.verify_sample_goldens
@@ -257,6 +275,7 @@ def _run_golden(workload: str | None, update: bool, jobs: int | None,
             print(f"wrote {path}")
         return 0
     flag = (" --shard" if shard
+            else " --insights" if insights
             else " --sample" if sample
             else " --serve" if serve
             else " --fused" if fused
@@ -333,8 +352,13 @@ def _run_serve(args) -> int:
         return 2
     _print_serve_report(report)
     if timeline is not None:
-        trace_mod.validate_chrome(timeline.to_chrome())
-        timeline.write(args.output)
+        from .profiling import insights
+
+        manifest = insights.build_manifest(
+            key, scale=args.scale or "test", epochs=1, seed=args.seed,
+            capture_replay=bool(report.get("captured_plans"))).as_dict()
+        trace_mod.validate_chrome(timeline.to_chrome(manifest=manifest))
+        timeline.write(args.output, manifest=manifest)
         print(f"wrote {args.output}  (load in https://ui.perfetto.dev or "
               f"chrome://tracing)")
     if args.metrics or args.metrics_output:
@@ -393,8 +417,13 @@ def _run_sample_cmd(args, cache) -> int:
         return 2
     _print_sample_report(report)
     if timeline is not None:
-        trace_mod.validate_chrome(timeline.to_chrome())
-        timeline.write(args.output)
+        from .profiling import insights
+
+        manifest = insights.build_manifest(
+            key, scale=args.scale or "test", epochs=epochs,
+            seed=args.seed).as_dict()
+        trace_mod.validate_chrome(timeline.to_chrome(manifest=manifest))
+        timeline.write(args.output, manifest=manifest)
         print(f"wrote {args.output}  (load in https://ui.perfetto.dev or "
               f"chrome://tracing)")
     if args.metrics or args.metrics_output:
@@ -520,8 +549,13 @@ def _run_shard_cmd(args, cache) -> int:
         return 1
     _print_shard_report(report)
     if timeline is not None:
-        trace_mod.validate_chrome(timeline.to_chrome())
-        timeline.write(args.output)
+        from .profiling import insights
+
+        manifest = insights.build_manifest(
+            key, scale="shard", epochs=report["epochs"], seed=args.seed,
+            gpus=report["gpus"], parts=report["parts"]).as_dict()
+        trace_mod.validate_chrome(timeline.to_chrome(manifest=manifest))
+        timeline.write(args.output, manifest=manifest)
         print(f"wrote {args.output}  (load in https://ui.perfetto.dev or "
               f"chrome://tracing)")
     if args.metrics or args.metrics_output:
@@ -568,8 +602,52 @@ def _run_bench_shard(args, cache) -> int:
     return 0
 
 
+def _run_insights_cmd(args) -> int:
+    from .profiling import insights
+    from .profiling.report import format_insights, format_insights_diff
+
+    if args.diff:
+        ref_path, new_path = args.diff
+        with open(ref_path) as fh:
+            reference = json.load(fh)
+        with open(new_path) as fh:
+            measured = json.load(fh)
+        diff = insights.diff_insights(reference, measured)
+        print(format_insights_diff(diff))
+        if args.output:
+            with open(args.output, "w") as fh:
+                json.dump(diff, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.output}")
+        return 0
+    if not args.workload:
+        print("the 'insights' command needs a workload key, e.g. "
+              "`python -m repro insights dgcn` "
+              "(or --diff REFERENCE.json MEASURED.json)")
+        return 2
+    key = _resolve_workload(args.workload)
+    epochs = args.epochs if args.epochs > 1 else 2
+    try:
+        report = insights.insights_report(key, scale=args.scale or "test",
+                                          epochs=epochs, seed=args.seed,
+                                          gpus=args.gpus)
+    except ValueError as exc:  # e.g. whole-graph workloads at --gpus > 1
+        print(exc)
+        return 2
+    print(format_insights(report))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}  (insights digest "
+              f"{report['insights_digest'][:12]})")
+    if args.metrics or args.metrics_output:
+        _dump_metrics(args.metrics_output, manifest=report["manifest"])
+    return 0
+
+
 def _run_trace(args) -> int:
-    from .profiling import trace
+    from .profiling import insights, trace
 
     key = _resolve_workload(args.workload) if args.workload else None
     if key is None:
@@ -585,10 +663,13 @@ def _run_trace(args) -> int:
     except ValueError as exc:  # e.g. whole-graph workloads at --gpus > 1
         print(exc)
         return 2
-    chrome = timeline.to_chrome()
+    manifest = insights.build_manifest(key, scale=scale, epochs=args.epochs,
+                                       seed=args.seed,
+                                       gpus=args.gpus).as_dict()
+    chrome = timeline.to_chrome(manifest=manifest)
     trace.validate_chrome(chrome)
     out = args.output or f"{key}_trace.json"
-    timeline.write(out)
+    timeline.write(out, manifest=manifest)
     summary = timeline.summary()
     gpus = ", ".join(
         f"gpu{pid} {dev['busy_s'] * 1e3:.2f} ms busy"
@@ -601,7 +682,7 @@ def _run_trace(args) -> int:
     _print_timeline_summary(summary)
     print(f"wrote {out}  (load in https://ui.perfetto.dev or chrome://tracing)")
     if args.metrics or args.metrics_output:
-        _dump_metrics(args.metrics_output)
+        _dump_metrics(args.metrics_output, manifest=manifest)
     return 0
 
 
@@ -686,13 +767,14 @@ def main(argv: list[str] | None = None) -> int:
                         choices=["table1", *FIGURES, "fig9", "all",
                                  "profile", "memory", "memstats", "golden",
                                  "bench", "trace", "serve", "sample",
-                                 "shard"],
+                                 "shard", "insights"],
                         help="which artifact to regenerate")
     parser.add_argument("workload", nargs="?",
                         help="workload key (for 'profile', 'memstats', "
-                             "'golden', 'trace', 'serve', 'sample' and "
-                             "'shard'; case-insensitive for 'trace', "
-                             "'memstats', 'serve', 'sample' and 'shard')")
+                             "'golden', 'trace', 'serve', 'sample', 'shard' "
+                             "and 'insights'; case-insensitive for 'trace', "
+                             "'memstats', 'serve', 'sample', 'shard' and "
+                             "'insights')")
     parser.add_argument("--epochs", type=int, default=1)
     parser.add_argument("--scale", default=None,
                         choices=["test", "profile", "scaling"],
@@ -731,6 +813,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="'golden': operate on sharded-training "
                              "snapshots (tests/golden/shard_*.json) — "
                              "partition-parallel training reports")
+    parser.add_argument("--insights", action="store_true",
+                        help="'golden': operate on insight-engine snapshots "
+                             "(tests/golden/insights_*.json) — roofline "
+                             "attribution reports")
+    parser.add_argument("--diff", nargs=2,
+                        metavar=("REFERENCE", "MEASURED"),
+                        help="'insights': diagnose the delta between two "
+                             "saved reports (insights JSON or any bench "
+                             "payload/baseline) instead of running a "
+                             "workload")
     parser.add_argument("--parts", type=int, default=None,
                         help="'shard': number of graph partitions "
                              "(default: the named config's, else 4)")
@@ -786,8 +878,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the metrics snapshot as canonical JSON "
                              "to this file, plus a sibling .prom dump")
     parser.add_argument("--gpus", type=int, default=1,
-                        help="'trace': number of simulated devices "
-                             "(multi-GPU runs trace the DDP allreduce)")
+                        help="'trace'/'insights': number of simulated "
+                             "devices (multi-GPU runs trace the DDP "
+                             "allreduce)")
     parser.add_argument("--strict", action="store_true",
                         help="validate GPU-model invariants on every record "
                              "(the 'profile' command)")
@@ -796,7 +889,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("-o", "--output", default=None,
                         help="output file ('trace': the Chrome JSON, default "
                              "<KEY>_trace.json; 'bench': the timing report, "
-                             "default BENCH_suite.json)")
+                             "default BENCH_suite.json; 'insights': the full "
+                             "report or diff JSON)")
     parser.add_argument("--hotpath-output", default="BENCH_hotpath.json",
                         help="'bench': where to write the launch hot-path "
                              "microbench report")
@@ -816,9 +910,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_golden(args.workload, args.update, args.jobs, cache,
                            traces=args.traces, memory=args.memory,
                            fused=args.fused, serve=args.serve,
-                           sample=args.sample, shard=args.shard)
+                           sample=args.sample, shard=args.shard,
+                           insights=args.insights)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "insights":
+        return _run_insights_cmd(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "serve":

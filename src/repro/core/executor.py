@@ -112,6 +112,12 @@ def _run_shard(params: dict):
     return sharded.shard_report(**params)
 
 
+def _run_insights(params: dict):
+    from ..profiling import insights
+
+    return insights.insights_report(**params)
+
+
 _TASK_RUNNERS = {
     "profile": _run_profile,
     "fingerprint": _run_fingerprint,
@@ -123,6 +129,7 @@ _TASK_RUNNERS = {
     "serve": _run_serve,
     "sample": _run_sample,
     "shard": _run_shard,
+    "insights": _run_insights,
 }
 
 
@@ -409,6 +416,26 @@ def shard_suite(names: Optional[Sequence[str]] = None, seed: Optional[int] = Non
     return dict(zip(names, run_tasks(tasks, jobs=jobs, cache=cache)))
 
 
+def insights_suite(keys: Optional[Sequence[str]] = None, scale: str = "test",
+                   epochs: int = 2, seed: int = 0, gpus: int = 1,
+                   jobs: Optional[int] = None, cache=None) -> dict:
+    """Roofline/bottleneck insights reports for ``keys`` (default: suite).
+
+    Each report folds pure functions of ``(descriptor, SimulationConfig)``
+    over the simulated clock, so ``insights_digest`` is byte-identical
+    across ``--jobs``, profile-cache warm/cold, analysis-cache on/off and
+    repeat runs (``tests/test_insights_golden.py`` pins the matrix).
+    """
+    if keys is None:
+        keys = list(registry.WORKLOAD_KEYS)
+    tasks: list[Task] = [
+        ("insights", dict(key=k, scale=scale, epochs=epochs, seed=seed,
+                          gpus=gpus))
+        for k in keys
+    ]
+    return dict(zip(keys, run_tasks(tasks, jobs=jobs, cache=cache)))
+
+
 def run_scaling_points(points: Sequence[tuple[str, int]],
                        scale: str = "scaling", epochs: int = 1, seed: int = 0,
                        jobs: Optional[int] = None, cache=None) -> list:
@@ -538,13 +565,17 @@ def benchmark_hotpath(keys: Optional[Sequence[str]] = None,
                 key, scale, epochs, seed,
                 capture_replay=capture_replay, fuse=fuse,
             )
+            # snapshot while still inside the override: leaving the block
+            # toggles the effective cache setting, which resets per-device
+            # hit/miss counters (analysis_cache.register_toggle_hook)
+            hits, misses = stats.analysis_hits, stats.analysis_misses
         with analysis_cache.override(False):
             cold_s, _, _ = _steady_state_run(
                 key, scale, epochs, seed, steady=capture_replay,
             )
         warm_total += warm_s
         cold_total += cold_s
-        launches = stats.analysis_hits + stats.analysis_misses
+        launches = hits + misses
         workloads[key] = {
             "warm_s": warm_s,
             "cold_s": cold_s,
@@ -552,9 +583,9 @@ def benchmark_hotpath(keys: Optional[Sequence[str]] = None,
             "cold_epochs_per_s": epochs / cold_s if cold_s else 0.0,
             "speedup": cold_s / warm_s if warm_s else 0.0,
             "steady_state_launches": launches,
-            "analysis_hits": stats.analysis_hits,
-            "analysis_misses": stats.analysis_misses,
-            "hit_rate": stats.analysis_hits / launches if launches else 0.0,
+            "analysis_hits": hits,
+            "analysis_misses": misses,
+            "hit_rate": hits / launches if launches else 0.0,
             "mode": "capture-replay" if capture_replay else "dispatch",
         }
         if controller is not None:
@@ -578,15 +609,32 @@ def benchmark_hotpath(keys: Optional[Sequence[str]] = None,
     }
 
 
+def _attribute_failures(failures: list[str], baseline: dict,
+                        report: dict) -> list[str]:
+    """Append ``diff_insights`` attribution lines to a failing gate.
+
+    The diagnoser tolerates sparse baselines (aggregate-only payloads yield
+    no movers), so the gates stay usable against hand-written baselines.
+    """
+    if failures:
+        from ..profiling.insights import diff_insights, render_diff_lines
+
+        failures.extend(render_diff_lines(diff_insights(baseline, report)))
+    return failures
+
+
 def check_hotpath_regression(report: dict, baseline: dict,
                              tolerance: float = 0.25) -> list[str]:
     """Compare a hot-path report against a committed baseline.
 
-    Wall-clock epochs/sec is machine-dependent, so the tracked number is the
-    warm-vs-cold *speedup ratio* — a same-machine quantity.  Returns
-    human-readable failures when the measured ratio falls more than
-    ``tolerance`` below the baseline's (i.e. warm steady-state throughput
-    regressed relative to the cold path).
+    Wall-clock epochs/sec is machine-dependent, so the tracked numbers are
+    warm-vs-cold *speedup ratios* — same-machine quantities.  The suite
+    aggregate must stay within ``tolerance`` of the committed ratio, and
+    each workload must stay above ``max(workload_floor, committed ratio *
+    (1 - its tolerance))`` — ``workload_floor`` (default 1.2, the ROADMAP
+    target) is a hard floor, and ``workload_tolerance`` in the baseline can
+    loosen or tighten individual workloads.  On failure the messages end
+    with a ``diff_insights`` attribution of which workloads shifted.
     """
     failures: list[str] = []
     base = float(baseline.get("speedup", 0.0))
@@ -598,7 +646,26 @@ def check_hotpath_regression(report: dict, baseline: dict,
             f"{floor:.2f}x ({(1 - tolerance) * 100:.0f}% of the committed "
             f"baseline {base:.2f}x)"
         )
-    return failures
+    base_speedups = baseline.get("workload_speedups") or {}
+    tolerances = baseline.get("workload_tolerance") or {}
+    hard_floor = float(baseline.get("workload_floor", 0.0))
+    rows = report.get("workloads", {})
+    gated = set(base_speedups) | (set(rows) if hard_floor else set())
+    for key in sorted(gated):
+        row = rows.get(key)
+        if not isinstance(row, dict) or "speedup" not in row:
+            continue
+        got_w = float(row["speedup"])
+        tol_w = float(tolerances.get(key, tolerance))
+        base_w = float(base_speedups.get(key, 0.0))
+        floor_w = max(hard_floor, base_w * (1.0 - tol_w))
+        if got_w < floor_w:
+            failures.append(
+                f"{key}: warm/cold speedup {got_w:.2f}x fell below "
+                f"{floor_w:.2f}x (committed {base_w:.2f}x, tolerance "
+                f"{tol_w * 100:.0f}%, hard floor {hard_floor:.2f}x)"
+            )
+    return _attribute_failures(failures, baseline, report)
 
 
 def benchmark_sample(keys: Optional[Sequence[str]] = None,
@@ -694,7 +761,7 @@ def check_sample_regression(report: dict, baseline: dict,
             f"({(1 - tolerance) * 100:.0f}% of the committed baseline "
             f"{base:.3f}x)"
         )
-    return failures
+    return _attribute_failures(failures, baseline, report)
 
 
 #: capacity-frontier probe grid: node-count ladder x device configurations
@@ -801,4 +868,4 @@ def check_shard_regression(report: dict, baseline: dict) -> list[str]:
             f"host offload frontier {got.get('offload')} does not extend "
             f"the plain single-GPU frontier {got.get('gpus1')}"
         )
-    return failures
+    return _attribute_failures(failures, baseline, report)

@@ -118,6 +118,10 @@ _CACHES: dict[int, AnalysisCache] = {}
 #: extra invalidation hooks run by :func:`clear` (the tensor layer registers
 #: its ``irregular_row_access`` memo here without a reverse import).
 _CLEAR_HOOKS: list[Callable[[], None]] = []
+#: hooks fired when the *effective* enabled() flag flips (the device layer
+#: resets its per-device hit/miss telemetry there: counters sampled under
+#: one discipline must not bleed into runs under the other).
+_TOGGLE_HOOKS: list[Callable[[bool], None]] = []
 #: test/bench override: ``True``/``False`` force the flag, ``None`` defers
 #: to the ``REPRO_ANALYSIS_CACHE`` environment variable (default on).
 _FORCED: Optional[bool] = None
@@ -131,9 +135,27 @@ def enabled() -> bool:
 
 
 def set_enabled(value: Optional[bool]) -> None:
-    """Force the cache on/off (``None`` restores the environment default)."""
+    """Force the cache on/off (``None`` restores the environment default).
+
+    When the *effective* setting actually flips — forcing the current value
+    again is a no-op — every :func:`register_toggle_hook` callback fires
+    with the new setting.  ``override`` blocks go through here on both
+    enter and exit, so mid-process toggling always resets per-device
+    hit/miss counters.
+    """
     global _FORCED
+    before = enabled()
     _FORCED = value
+    after = enabled()
+    if after != before:
+        for hook in _TOGGLE_HOOKS:
+            hook(after)
+
+
+def register_toggle_hook(hook: Callable[[bool], None]) -> None:
+    """Register a callback for effective enabled() flips."""
+    if hook not in _TOGGLE_HOOKS:
+        _TOGGLE_HOOKS.append(hook)
 
 
 class override:

@@ -36,7 +36,16 @@ def _clear_site_caches() -> None:
         dev.site_records.clear()
 
 
+def _reset_analysis_counters(_enabled: bool) -> None:
+    # hit/miss ratios sampled under one caching discipline are meaningless
+    # once the effective setting flips; start every regime from zero.
+    for dev in _DEVICES:
+        dev.stats.analysis_hits = 0
+        dev.stats.analysis_misses = 0
+
+
 analysis_cache.register_clear_hook(_clear_site_caches)
+analysis_cache.register_toggle_hook(_reset_analysis_counters)
 
 
 @dataclass

@@ -103,6 +103,12 @@ class Histogram:
             out.append(running)
         return out
 
+    def per_bucket(self) -> list[int]:
+        """Non-cumulative count per bucket (+Inf last) — the view deltas
+        subtract, since per-bucket shifts localize a latency regression the
+        way a cumulative diff can't."""
+        return list(self.counts)
+
 
 _TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
@@ -161,13 +167,10 @@ class MetricsRegistry:
             for key in sorted(self._series[name]):
                 metric = self._series[name][key]
                 if kind == "histogram":
+                    les = [_le(b) for b in (*metric.bounds, float("inf"))]
                     series_out[key] = {
-                        "buckets": {
-                            _le(bound): cum for bound, cum in zip(
-                                (*metric.bounds, float("inf")),
-                                metric.cumulative(),
-                            )
-                        },
+                        "buckets": dict(zip(les, metric.cumulative())),
+                        "bucket_counts": dict(zip(les, metric.per_bucket())),
                         "sum": metric.sum,
                         "count": metric.count,
                     }
@@ -181,6 +184,11 @@ class MetricsRegistry:
 
         Counters and histograms subtract (new series count from zero);
         gauges report their current value — a delta of a level is a level.
+        Histogram deltas are first-class: alongside the cumulative
+        ``buckets`` diff they carry ``bucket_counts`` (per-bucket count
+        shifts) and the ``sum``/``count`` deltas, so two serving-latency
+        runs can be compared bucket by bucket.  Snapshots taken before
+        ``bucket_counts`` existed decumulate on the fly.
         """
         current = self.snapshot()
         out: dict = {}
@@ -194,10 +202,18 @@ class MetricsRegistry:
                 elif entry["type"] == "counter":
                     series_out[key] = value - prev
                 else:
+                    cur_counts = (value.get("bucket_counts")
+                                  or _decumulate(value["buckets"]))
+                    prev_counts = (prev.get("bucket_counts")
+                                   or _decumulate(prev["buckets"]))
                     series_out[key] = {
                         "buckets": {
                             le: cum - prev["buckets"].get(le, 0)
                             for le, cum in value["buckets"].items()
+                        },
+                        "bucket_counts": {
+                            le: c - prev_counts.get(le, 0)
+                            for le, c in cur_counts.items()
                         },
                         "sum": value["sum"] - prev["sum"],
                         "count": value["count"] - prev["count"],
@@ -242,6 +258,23 @@ def _le(bound: float) -> str:
     if bound == float("inf"):
         return "+Inf"
     return _num(bound)
+
+
+def _decumulate(buckets: Mapping[str, float]) -> dict[str, float]:
+    """Per-bucket counts from Prometheus cumulative ``le`` buckets.
+
+    Fallback for snapshots taken before ``bucket_counts`` existed: order the
+    ``le`` keys numerically (``+Inf`` last) and difference the running sums.
+    """
+    def bound(le: str) -> float:
+        return float("inf") if le == "+Inf" else float(le)
+
+    out: dict[str, float] = {}
+    running = 0.0
+    for le in sorted(buckets, key=bound):
+        out[le] = buckets[le] - running
+        running = buckets[le]
+    return out
 
 
 def _num(value: float) -> str:

@@ -109,6 +109,78 @@ def format_memory_table(
     return "\n".join(lines)
 
 
+def format_insights(report: Mapping, top_sites: int = 12) -> str:
+    """Render an insights report: manifest line, bound-class mix, roofline
+    table of the hottest launch sites, and the per-stream busy time."""
+    manifest = report.get("manifest", {})
+    lines = [
+        f"insights: {manifest.get('workload', '?')} "
+        f"(scale={manifest.get('scale', '?')}, "
+        f"epochs={manifest.get('epochs', '?')}, "
+        f"seed={manifest.get('seed', '?')}, "
+        f"gpus={manifest.get('gpus', '?')})",
+        f"wall {report.get('wall_us', 0.0) / 1e3:.2f}ms, "
+        f"attributed {report.get('attributed_us', 0.0) / 1e3:.2f}ms "
+        f"stream-busy across {report.get('launches', 0)} launches, "
+        f"digest {report.get('insights_digest', '')[:12]}",
+        "",
+        "bound-class mix:",
+    ]
+    for cls, row in report.get("bound_summary", {}).items():
+        lines.append(f"  {cls:<18}{row['share'] * 100:>6.1f}%  "
+                     f"{row['duration_us'] / 1e3:>9.2f}ms")
+    lines.append("")
+    lines.append(f"top launch sites (of {len(report.get('sites', []))}):")
+    lines.append(f"{'site':<26}{'stream':<11}{'us':>9}{'class':>16}"
+                 f"{'AI':>8}{'%roof':>7}{'top stall':>21}")
+    lines.append("-" * 98)
+    for site in report.get("sites", [])[:top_sites]:
+        if "launches" in site:
+            ai = f"{site['arithmetic_intensity']:>8.2f}"
+            roof = f"{site['pct_of_roof'] * 100:>6.1f}%"
+            stall = (f"{site['top_stall']:>15} "
+                     f"{site['top_stall_share'] * 100:>4.0f}%")
+        else:
+            ai, roof = f"{'-':>8}", f"{'-':>7}"
+            stall = f"{'-':>20}"
+        lines.append(f"{site['site']:<26}{site['stream']:<11}"
+                     f"{site['duration_us']:>9.1f}"
+                     f"{site['bound_class']:>16}{ai}{roof} {stall}")
+    lines.append("")
+    lines.append("stream busy time:")
+    for stream, dur in report.get("stream_summary", {}).items():
+        lines.append(f"  {stream:<11}{dur / 1e3:>9.2f}ms")
+    return "\n".join(lines)
+
+
+def format_insights_diff(diff: Mapping, top: int = 8) -> str:
+    """Render a ``diff_insights`` result: aggregate delta + top movers."""
+    from .insights import render_diff_lines
+
+    kind = diff.get("kind", "unknown")
+    lines = [f"insights diff ({kind}):"]
+    if kind == "insights":
+        lines.append(
+            f"attributed {diff.get('a_us', 0.0) / 1e3:.2f}ms -> "
+            f"{diff.get('b_us', 0.0) / 1e3:.2f}ms "
+            f"({diff.get('delta_us', 0.0) / 1e3:+.2f}ms)"
+        )
+        deltas = {s: d for s, d in diff.get("stream_deltas", {}).items() if d}
+        if deltas:
+            lines.append("stream deltas: " + ", ".join(
+                f"{s} {d:+.1f}us" for s, d in deltas.items()))
+    elif kind in ("hotpath", "sample"):
+        lines.append(f"suite speedup {diff.get('a_speedup', 0.0):.2f}x -> "
+                     f"{diff.get('b_speedup', 0.0):.2f}x")
+    attribution = render_diff_lines(diff, top=top)
+    if attribution:
+        lines.extend(attribution)
+    else:
+        lines.append("no movers: reports are equivalent "
+                     "(or the reference carries only aggregates)")
+    return "\n".join(lines)
+
+
 def format_scaling(
     times: Mapping[str, Mapping[int, float]],
     title: str = "Strong scaling (speedup over 1 GPU)",

@@ -485,8 +485,14 @@ class Timeline:
         return Timeline(self.spans + clones)
 
     # -- Chrome trace JSON -------------------------------------------------
-    def to_chrome(self) -> dict:
-        """``chrome://tracing`` / Perfetto JSON object format."""
+    def to_chrome(self, manifest: Optional[dict] = None) -> dict:
+        """``chrome://tracing`` / Perfetto JSON object format.
+
+        ``manifest`` (a :class:`repro.profiling.insights.RunManifest` dict)
+        rides along under ``otherData`` so exported traces are
+        provenance-comparable; :meth:`digest` never passes one, keeping
+        golden trace digests a function of the spans alone.
+        """
         events: list[dict] = []
         pids = self.device_ids()
         tids = sorted({(s.pid, s.tid) for s in self.spans},
@@ -513,18 +519,21 @@ class Timeline:
                 "tid": s.tid, "ts": s.ts_us, "dur": s.dur_us,
                 "args": s.args_dict(),
             })
+        other = {"generator": "repro.profiling.trace",
+                 "version": TRACE_VERSION}
+        if manifest is not None:
+            other["runManifest"] = manifest
         return {"traceEvents": events, "displayTimeUnit": "ms",
-                "otherData": {"generator": "repro.profiling.trace",
-                              "version": TRACE_VERSION}}
+                "otherData": other}
 
-    def to_json(self) -> str:
+    def to_json(self, manifest: Optional[dict] = None) -> str:
         """Canonical serialization: the bytes the digest is defined over."""
-        return json.dumps(self.to_chrome(), sort_keys=True,
+        return json.dumps(self.to_chrome(manifest), sort_keys=True,
                           separators=(",", ":")) + "\n"
 
-    def write(self, path) -> None:
+    def write(self, path, manifest: Optional[dict] = None) -> None:
         with open(path, "w") as fh:
-            fh.write(self.to_json())
+            fh.write(self.to_json(manifest))
 
     def digest(self) -> str:
         return hashlib.sha256(self.to_json().encode()).hexdigest()
@@ -639,7 +648,8 @@ def validate_chrome(data: dict) -> None:
 # -- workload tracing entry points -------------------------------------------
 def trace_workload(key: str, scale: str = "test", epochs: int = 1,
                    seed: int = 0, sim=None, memory: bool = False,
-                   mode: Optional[str] = None) -> Timeline:
+                   mode: Optional[str] = None,
+                   launch_listener=None) -> Timeline:
     """Train ``epochs`` of one workload on a single traced device.
 
     Mirrors :func:`repro.testing.golden.fingerprint_workload`: reseed, build,
@@ -653,6 +663,11 @@ def trace_workload(key: str, scale: str = "test", epochs: int = 1,
     ``"steady"`` enforces the static-input discipline, ``"capture"`` runs
     capture/replay (repro.gpu.graph_capture) — the differential trace tests
     compare the latter two byte-for-byte.
+
+    ``launch_listener`` rides along as an extra device launch listener for
+    the duration of training (the insight engine's per-launch collector);
+    it is attached after the post-build ``reset()``, so it sees exactly the
+    launches the trace does.
     """
     from ..core import registry
     from ..tensor import manual_seed
@@ -666,32 +681,42 @@ def trace_workload(key: str, scale: str = "test", epochs: int = 1,
     with mem_ctx as memtracker:
         workload = spec.build(device=device, scale=scale)
         device.reset()
-        with session(devices=(device,)) as tracer:
-            if memtracker is not None:
-                memtracker.set_counter_sink(tracer.counter_sink(device))
-            Trainer(workload=workload, device=device,
-                    steady=mode == "steady",
-                    capture_replay=mode == "capture").run(epochs=epochs,
-                                                          seed=seed)
+        if launch_listener is not None:
+            device.add_launch_listener(launch_listener)
+        try:
+            with session(devices=(device,)) as tracer:
+                if memtracker is not None:
+                    memtracker.set_counter_sink(tracer.counter_sink(device))
+                Trainer(workload=workload, device=device,
+                        steady=mode == "steady",
+                        capture_replay=mode == "capture").run(epochs=epochs,
+                                                              seed=seed)
+        finally:
+            if launch_listener is not None:
+                device.remove_launch_listener(launch_listener)
     return tracer.timeline()
 
 
 def trace_point(key: str, num_gpus: int = 1, scale: str = "test",
                 epochs: int = 1, seed: int = 0, sim=None,
-                memory: bool = False) -> Timeline:
+                memory: bool = False, launch_listener=None) -> Timeline:
     """Trace one workload on ``num_gpus`` simulated devices.
 
     Memory counter tracks are single-device only: the DDP path replicates
     device 0's spans to every peer, and cloning footprint samples would
     assert knowledge the allocator model doesn't have about replicas.
+    ``launch_listener`` observes device 0's launches on either path (DDP
+    replicas are symmetric, so device 0's stream characterizes each peer).
     """
     if num_gpus <= 1:
         return trace_workload(key, scale=scale, epochs=epochs, seed=seed,
-                              sim=sim, memory=memory)
+                              sim=sim, memory=memory,
+                              launch_listener=launch_listener)
     from ..train import ddp
 
     return ddp.trace_scaling_point(key, num_gpus, scale=scale, epochs=epochs,
-                                   seed=seed, sim=sim)
+                                   seed=seed, sim=sim,
+                                   launch_listener=launch_listener)
 
 
 def trace_fingerprint(key: str, scale: str = "test", epochs: int = 1,

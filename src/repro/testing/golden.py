@@ -1201,3 +1201,172 @@ def update_shard_goldens(names: Optional[list[str]] = None,
     names = list(names or SHARD_GOLDEN_KEYS)
     reports = executor.shard_suite(names, jobs=jobs, cache=cache)
     return [save_shard_golden(reports[name]) for name in names]
+
+
+# -- insight-engine goldens ---------------------------------------------------
+# Insights snapshots (repro.profiling.insights) pin the *interpretation
+# domain*: the roofline classifier's bound-class verdicts, the attribution
+# tree's totals, and the canonical-report digest.  Snapshots store a compact
+# fingerprint rather than the full report (the tree is large and every byte
+# of it is already covered by ``insights_digest``); the digest deliberately
+# excludes ``manifest.source_digest``, so snapshots survive commits that
+# don't change behaviour.  Byte-determinism across repeat runs, --jobs
+# counts, profile-cache warm/cold and analysis-cache on/off is asserted by
+# tests/test_insights_golden.py on the shared determinism matrix.
+
+#: default snapshot set for ``python -m repro golden --insights``: the
+#: paper's flagship 3D-GNN plus the memory-bound knowledge-graph workload
+INSIGHTS_GOLDEN_KEYS = ("DGCN", "KGNNL")
+
+#: the parameters an insights snapshot records (and verification replays
+#: under)
+_INSIGHTS_PARAM_FIELDS = ("scale", "epochs", "seed", "gpus")
+
+#: flat sites carried verbatim in the fingerprint (the hottest N)
+_INSIGHTS_TOP_SITES = 5
+
+
+def insights_fingerprint(report: dict) -> dict:
+    """Reduce a full insights report to the snapshot the goldens store."""
+    manifest = report.get("manifest", {})
+    top_sites = [
+        {f: site[f] for f in ("phase", "stream", "site", "duration_us",
+                              "bound_class")}
+        for site in report.get("sites", [])[:_INSIGHTS_TOP_SITES]
+    ]
+    return {
+        "version": report.get("version"),
+        "workload": manifest.get("workload"),
+        "scale": manifest.get("scale"),
+        "epochs": manifest.get("epochs"),
+        "seed": manifest.get("seed"),
+        "gpus": manifest.get("gpus"),
+        "sim_digest": manifest.get("sim_digest"),
+        "wall_us": report.get("wall_us"),
+        "attributed_us": report.get("attributed_us"),
+        "span_count": report.get("span_count"),
+        "launches": report.get("launches"),
+        "site_count": len(report.get("sites", [])),
+        "bound_summary": report.get("bound_summary", {}),
+        "stream_summary": report.get("stream_summary", {}),
+        "top_sites": top_sites,
+        "insights_digest": report.get("insights_digest"),
+    }
+
+
+def insights_golden_path(key: str) -> Path:
+    return golden_dir() / f"insights_{key}.json"
+
+
+def load_insights_golden(key: str) -> dict:
+    path = insights_golden_path(key)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no golden insights snapshot for {key!r} at {path}; generate it "
+            f"with `python -m repro golden --insights --update`"
+        )
+    return json.loads(path.read_text())
+
+
+def save_insights_golden(report: dict) -> Path:
+    fingerprint = (report if "top_sites" in report
+                   else insights_fingerprint(report))
+    path = insights_golden_path(fingerprint["workload"])
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(fingerprint, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_insights_fingerprints(expected: dict, actual: dict) -> list[str]:
+    """Human-readable diffs (empty when snapshots match byte-for-byte).
+
+    Every field compares exactly: durations and shares are analytic
+    functions of the simulated clock and the kernel descriptors, so there
+    is no nondeterminism to forgive.  The digest-drift line comes last, as
+    in every other golden family.
+    """
+    diffs: list[str] = []
+    nested = {"bound_summary", "stream_summary", "top_sites"}
+    scalar_fields = sorted(
+        (set(expected) | set(actual)) - nested - {"insights_digest"}
+    )
+    for field in scalar_fields:
+        if expected.get(field) != actual.get(field):
+            diffs.append(f"{field}: expected {expected.get(field)!r}, "
+                         f"got {actual.get(field)!r}")
+    for block in ("bound_summary", "stream_summary"):
+        exp, act = expected.get(block, {}), actual.get(block, {})
+        for name in sorted(set(exp) | set(act)):
+            if exp.get(name) != act.get(name):
+                diffs.append(f"{block}[{name}]: expected {exp.get(name)!r}, "
+                             f"got {act.get(name)!r}")
+    exp_sites = expected.get("top_sites", [])
+    act_sites = actual.get("top_sites", [])
+    if len(exp_sites) != len(act_sites):
+        diffs.append(f"top_sites: expected {len(exp_sites)} sites, "
+                     f"got {len(act_sites)}")
+    else:
+        for i, (e, a) in enumerate(zip(exp_sites, act_sites)):
+            if e != a:
+                diffs.append(f"top_sites[{i}]: expected {e!r}, got {a!r}")
+    if expected.get("insights_digest") != actual.get("insights_digest"):
+        diffs.append(
+            f"insights_digest: expected {expected.get('insights_digest')}, "
+            f"got {actual.get('insights_digest')} — the canonical insights "
+            f"report changed even though the summary stats above "
+            f"{'also differ' if diffs else 'still match'}"
+        )
+    return diffs
+
+
+def verify_insights_goldens(keys: Optional[list[str]] = None,
+                            jobs: Optional[int] = None,
+                            cache=None) -> dict[str, list[str]]:
+    """Diff fresh insights fingerprints against committed snapshots.
+
+    Mirrors :func:`verify_serve_goldens`: reports regenerate under each
+    snapshot's own recorded parameters, missing snapshots surface as
+    one-line diffs, and generation fans out through the execution engine.
+    """
+    from ..core import executor
+
+    keys = list(keys or INSIGHTS_GOLDEN_KEYS)
+    expected: dict[str, dict] = {}
+    diffs: dict[str, list[str]] = {}
+    for key in keys:
+        try:
+            expected[key] = load_insights_golden(key)
+        except FileNotFoundError as exc:
+            diffs[key] = [f"missing snapshot: {exc}"]
+
+    present = [k for k in keys if k in expected]
+    by_params: dict[tuple, list[str]] = {}
+    for key in present:
+        exp = expected[key]
+        params = tuple(exp.get(f) for f in _INSIGHTS_PARAM_FIELDS)
+        by_params.setdefault(params, []).append(key)
+    actual: dict[str, dict] = {}
+    for params, group in by_params.items():
+        actual.update(executor.insights_suite(
+            group, jobs=jobs, cache=cache,
+            **dict(zip(_INSIGHTS_PARAM_FIELDS, params)),
+        ))
+    for key in present:
+        diffs[key] = compare_insights_fingerprints(
+            expected[key], insights_fingerprint(actual[key]))
+    return {key: diffs[key] for key in keys}
+
+
+def update_insights_goldens(keys: Optional[list[str]] = None,
+                            scale: str = "test", epochs: int = 2,
+                            seed: int = 0, gpus: int = 1,
+                            jobs: Optional[int] = None,
+                            cache=None) -> list[Path]:
+    """Regenerate insights snapshots (default: the flagship pair)."""
+    from ..core import executor
+
+    keys = list(keys or INSIGHTS_GOLDEN_KEYS)
+    reports = executor.insights_suite(keys, scale=scale, epochs=epochs,
+                                      seed=seed, gpus=gpus, jobs=jobs,
+                                      cache=cache)
+    return [save_insights_golden(reports[key]) for key in keys]

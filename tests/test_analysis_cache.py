@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import gc
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -186,7 +188,9 @@ class TestDeviceCounters:
             for _ in range(3):
                 ops_base.launch_elementwise(device, "ew_test", 1 << 16, 2)
                 ops_base.launch_reduction(device, "red_test", 1 << 16, 1)
-            return device.stats
+            # copy before the override exits: leaving the block may flip the
+            # effective setting, which zeroes the live hit/miss counters
+            return replace(device.stats)
 
     def test_hits_and_misses_partition_launches(self):
         stats = self._run(enabled=True)

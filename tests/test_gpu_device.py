@@ -111,6 +111,26 @@ class TestListeners:
         gpu.h2d(np.zeros(8))
         assert seen == []
 
+    def test_override_toggle_resets_analysis_counters(self, gpu):
+        """Hit/miss telemetry sampled with the cache on must not bleed into
+        a run measured with it off (and vice versa)."""
+        from repro.gpu import analysis_cache
+
+        with analysis_cache.override(True):
+            gpu.launch(_desc())
+            gpu.launch(_desc())
+            assert gpu.stats.analysis_hits + gpu.stats.analysis_misses == 2
+            with analysis_cache.override(not analysis_cache.enabled()):
+                # effective setting flipped: counters start from zero
+                assert gpu.stats.analysis_hits == 0
+                assert gpu.stats.analysis_misses == 0
+                gpu.launch(_desc())
+                assert gpu.stats.analysis_hits + gpu.stats.analysis_misses == 1
+                with analysis_cache.override(analysis_cache.enabled()):
+                    # redundant override (same effective value): no reset
+                    assert (gpu.stats.analysis_hits
+                            + gpu.stats.analysis_misses == 1)
+
 
 class TestStats:
     def test_flop_accounting(self, gpu):

@@ -77,6 +77,49 @@ class TestRegistry:
         assert delta["h"]["series"][""]["buckets"]["1"] == 1
         assert delta["fresh"]["series"][""] == 7.0
 
+    def test_histogram_per_bucket_view(self):
+        h = Histogram(buckets=(1.0, 5.0))
+        for v in (0.5, 0.7, 3.0, 100.0):
+            h.observe(v)
+        assert h.per_bucket() == [2, 1, 1]
+        assert h.cumulative() == [2, 3, 4]
+
+    def test_snapshot_carries_bucket_counts(self, reg):
+        reg.histogram("h", buckets=(1.0, 5.0)).observe(0.5)
+        reg.histogram("h", buckets=(1.0, 5.0)).observe(3.0)
+        hist = reg.snapshot()["h"]["series"][""]
+        assert hist["bucket_counts"] == {"1": 1, "5": 1, "+Inf": 0}
+        assert hist["buckets"] == {"1": 1, "5": 2, "+Inf": 2}
+
+    def test_delta_histogram_per_bucket_counts(self, reg):
+        # serving-latency comparison: the regression shows up in exactly the
+        # bucket the slow requests moved into, not just the aggregate sum
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        before = reg.snapshot()
+        h.observe(0.5)
+        h.observe(30.0)
+        h.observe(30.0)
+        delta = reg.delta(before)["lat"]["series"][""]
+        assert delta["bucket_counts"] == {"0.1": 0, "1": 1, "+Inf": 2}
+        assert delta["buckets"] == {"0.1": 0, "1": 1, "+Inf": 3}
+        assert delta["count"] == 3
+        assert delta["sum"] == pytest.approx(60.5)
+
+    def test_delta_decumulates_old_format_snapshots(self, reg):
+        # snapshots persisted before bucket_counts existed carry only the
+        # cumulative buckets; delta derives the per-bucket view on the fly
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        before = reg.snapshot()
+        del before["lat"]["series"][""]["bucket_counts"]
+        h.observe(30.0)
+        delta = reg.delta(before)["lat"]["series"][""]
+        assert delta["bucket_counts"] == {"0.1": 0, "1": 0, "+Inf": 1}
+        assert delta["count"] == 1
+
 
 class TestExports:
     def test_json_is_canonical_and_digest_stable(self, reg):
